@@ -1,0 +1,69 @@
+//! Ablation benchmark for the design choices DESIGN.md calls out: how much
+//! of the simulated cost structure comes from each fidelity mechanism.
+//! Each variant disables one mechanism of the ARMv8 spec and reruns the
+//! spark workload; comparing the groups shows which phenomena carry the
+//! paper's effects (store-buffer drains, fence shadows, coherence costs,
+//! out-of-order hiding).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use wmm_jvm::jit::JitConfig;
+use wmm_sim::arch::{armv8_xgene1, Arch, ArchSpec};
+use wmm_sim::Machine;
+use wmm_workloads::dacapo::{profile, DacapoBench};
+use wmmbench::image::{compute_envelope, Injection, SiteRewriter};
+use wmmbench::runner::BenchSpec;
+use wmmbench::strategy::FencingStrategy;
+
+fn variants() -> Vec<(&'static str, ArchSpec)> {
+    let base = armv8_xgene1();
+    let mut no_sbuf = base.clone();
+    no_sbuf.sb_drain_local = 0.0;
+    no_sbuf.sb_drain_remote = 0.0;
+    let mut no_shadow = base.clone();
+    no_shadow.fence_shadow_instrs = 0.0;
+    let mut no_coherence = base.clone();
+    no_coherence.coherence_transfer = no_coherence.l1_hit;
+    no_coherence.invalidate = 0.0;
+    let mut no_ooo = base.clone();
+    no_ooo.ooo_hide_frac = 0.0;
+    vec![
+        ("full_model", base),
+        ("no_store_buffer_cost", no_sbuf),
+        ("no_fence_shadow", no_shadow),
+        ("no_coherence_cost", no_coherence),
+        ("no_ooo_hiding", no_ooo),
+    ]
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simfidelity");
+    let strategy = wmm_bench::jvm_base_strategy(Arch::ArmV8);
+    let env = compute_envelope(
+        &wmm_jvm::barrier::all_site_combinations(),
+        &[&strategy as &dyn FencingStrategy<_>],
+        3,
+    );
+    let rw = SiteRewriter::new(&strategy, Injection::None, env);
+    let bench = DacapoBench::new(
+        profile("spark").unwrap(),
+        JitConfig::jdk8(Arch::ArmV8),
+        0.25,
+    );
+    let image = bench.image(1);
+    let program = rw.link(&image);
+    for (name, spec) in variants() {
+        let machine = Machine::new(spec);
+        // Report the *simulated* wall time alongside measuring host time.
+        let wall = machine.run(&program, &image.ctx, 7).wall_ns;
+        eprintln!("{name}: simulated wall = {wall:.0} ns");
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| black_box(machine.run(&program, &image.ctx, 7)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benchmarks of the operational-model explorer: state-space
+//! sizes vary hugely between MCA models (small) and the POWER propagation
+//! model (large), and between two-thread and four-thread shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use wmm_litmus::suite;
+use wmm_litmus::{explore, ModelKind};
+
+fn bench_explore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("litmus_explore");
+    let cases = [
+        ("SB", suite::store_buffering()),
+        ("MP+lwsync+addr", suite::mp_lwsync_addr()),
+        ("IRIW+addrs", suite::iriw_addrs()),
+    ];
+    for model in [ModelKind::Sc, ModelKind::ArmV8, ModelKind::Power] {
+        for (name, entry) in &cases {
+            group.bench_function(BenchmarkId::new(model.label(), *name), |b| {
+                b.iter(|| black_box(explore(&entry.test, model)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_full_suite(c: &mut Criterion) {
+    c.bench_function("litmus_full_suite", |b| {
+        b.iter(|| black_box(suite::run_full_suite()))
+    });
+}
+
+criterion_group!(benches, bench_explore, bench_full_suite);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion benchmarks of the methodology pipeline: cost-function
+//! calibration, model fitting, a full sensitivity sweep and a ranking
+//! matrix — the machinery behind every figure of the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use wmm_bench::ExpConfig;
+use wmm_sim::arch::Arch;
+use wmmbench::costfn::Calibration;
+use wmmbench::model::{fit_sensitivity, predicted_performance};
+use wmmbench::runner::RunConfig;
+
+fn bench_fit(c: &mut Criterion) {
+    let k = 0.00885;
+    let samples: Vec<(f64, f64)> = (0..12)
+        .map(|e| {
+            let a = (1u64 << e) as f64;
+            (a, predicted_performance(k, a) * (1.0 + 0.002 * (e as f64).sin()))
+        })
+        .collect();
+    c.bench_function("fit_sensitivity_12pts", |b| {
+        b.iter(|| black_box(fit_sensitivity(black_box(&samples))))
+    });
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    let m = wmm_bench::machine(Arch::ArmV8);
+    c.bench_function("costfn_calibration_2e10", |b| {
+        b.iter(|| black_box(Calibration::measure(&m, true, 10)))
+    });
+}
+
+fn bench_full_sweep(c: &mut Criterion) {
+    // One complete Fig. 5-style sweep (reduced protocol) on one benchmark.
+    let cfg = ExpConfig {
+        scale: 0.15,
+        run: RunConfig {
+            samples: 2,
+            warmups: 1,
+            base_seed: 1,
+        },
+    };
+    c.bench_function("fig5_single_arch_sweep", |b| {
+        b.iter(|| black_box(wmm_bench::fig5_openjdk_sweeps(Arch::ArmV8, cfg)))
+    });
+}
+
+fn bench_ranking(c: &mut Criterion) {
+    let cfg = ExpConfig {
+        scale: 0.1,
+        run: RunConfig {
+            samples: 2,
+            warmups: 0,
+            base_seed: 1,
+        },
+    };
+    c.bench_function("linux_ranking_matrix", |b| {
+        b.iter(|| black_box(wmm_bench::linux_ranking(cfg)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fit,
+    bench_calibration,
+    bench_full_sweep,
+    bench_ranking
+);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion benchmarks of the timing simulator itself: how fast the
+//! substrate executes the paper's workloads, and the micro-costs of each
+//! fence kind (the simulated analogue of the §4.2.1 microbenchmarks).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use wmm_jvm::jit::JitConfig;
+use wmm_sim::arch::{armv8_xgene1, power7, Arch};
+use wmm_sim::isa::{FenceKind, Instr};
+use wmm_sim::{Machine, WorkloadCtx};
+use wmm_workloads::dacapo::{profile, DacapoBench};
+use wmmbench::image::{compute_envelope, Injection, SiteRewriter};
+use wmmbench::runner::BenchSpec;
+use wmmbench::strategy::FencingStrategy;
+
+fn bench_machine_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine_run");
+    for arch in [Arch::ArmV8, Arch::Power7] {
+        let machine = Machine::new(match arch {
+            Arch::ArmV8 => armv8_xgene1(),
+            Arch::Power7 => power7(),
+        });
+        let strategy = wmm_bench::jvm_base_strategy(arch);
+        let env = compute_envelope(
+            &wmm_jvm::barrier::all_site_combinations(),
+            &[&strategy as &dyn FencingStrategy<_>],
+            5,
+        );
+        let rw = SiteRewriter::new(&strategy, Injection::None, env);
+        let bench = DacapoBench::new(profile("spark").unwrap(), JitConfig::jdk8(arch), 0.3);
+        let image = bench.image(1);
+        let program = rw.link(&image);
+        group.bench_function(BenchmarkId::new("spark", arch.label()), |b| {
+            b.iter(|| black_box(machine.run(&program, &image.ctx, 7)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fence_micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fence_micro");
+    let arm = Machine::new(armv8_xgene1());
+    let pow = Machine::new(power7());
+    for (label, m, kind) in [
+        ("arm_dmb_ish", &arm, FenceKind::DmbIsh),
+        ("arm_dmb_ishld", &arm, FenceKind::DmbIshLd),
+        ("arm_dmb_ishst", &arm, FenceKind::DmbIshSt),
+        ("power_lwsync", &pow, FenceKind::LwSync),
+        ("power_sync", &pow, FenceKind::HwSync),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(m.time_sequence_ns(&[Instr::Fence(kind)], 500, 1)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_contention(c: &mut Criterion) {
+    // Coherence-directory pressure: all cores hammering one line vs spread.
+    let machine = Machine::new(armv8_xgene1());
+    let mk = |spread: u64| {
+        let threads: Vec<Vec<Instr>> = (0..8u64)
+            .map(|t| {
+                (0..200)
+                    .map(|i| Instr::Store {
+                        loc: wmm_sim::isa::Loc::SharedRw((t * spread + i % spread.max(1)) % 64),
+                        ord: wmm_sim::isa::AccessOrd::Plain,
+                    })
+                    .collect()
+            })
+            .collect();
+        wmm_sim::Program::new(threads)
+    };
+    let mut group = c.benchmark_group("contention");
+    for (label, spread) in [("shared_line", 1u64), ("spread_lines", 8)] {
+        let prog = mk(spread);
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(machine.run(&prog, &WorkloadCtx::default(), 3)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_machine_run, bench_fence_micro, bench_contention);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Conclusion extension: cost-function IR nodes at JIT optimisation sites.
+//!
+//! "An obvious extension … is to explore the annotation of code paths
+//! related to compiler optimisations. … This could be accomplished by
+//! adding a dedicated cost function IR node which is added to code paths
+//! where a given optimisation occurs or would occur."
+//!
+//! This binary sweeps a cost function through each optimisation pass's
+//! (virtual) sites on the spark workload: the fitted sensitivity measures
+//! how much runtime the code touched by that optimisation class controls —
+//! i.e. the upper bound on what implementing or improving the pass could
+//! buy.
+
+use wmm_bench::{cli_config, machine, results_dir};
+use wmm_jvm::jit::JitConfig;
+use wmm_jvm::optsites::{JvmPath, OptAwareStrategy, OptPass};
+use wmm_sim::arch::Arch;
+use wmm_workloads::dacapo::{profile, DacapoBench, OptAnnotatedBench};
+use wmmbench::costfn::Calibration;
+use wmmbench::image::compute_envelope;
+use wmmbench::report::Table;
+use wmmbench::runner::BenchSpec;
+use wmmbench::sensitivity::{pow2_targets, sweep, SweepTarget};
+use wmmbench::strategy::FencingStrategy;
+
+fn main() {
+    let cfg = cli_config();
+    let arch = Arch::ArmV8;
+    let m = machine(arch);
+    let inner = wmm_bench::jvm_base_strategy(arch);
+    let strategy = OptAwareStrategy::new(&inner);
+    let bench = OptAnnotatedBench(DacapoBench::new(
+        profile("spark").expect("spark"),
+        JitConfig::jdk8(arch),
+        cfg.scale,
+    ));
+    let cal = Calibration::measure(&m, false, 12);
+    let paths = bench.image(1).paths();
+    let env = compute_envelope(&paths, &[&strategy as &dyn FencingStrategy<JvmPath>], 3);
+
+    println!("Extension — sensitivity of spark (ARM) to JIT optimisation sites");
+    let mut t = Table::new(&["opt pass", "k", "k_err_pct", "sites/image"]);
+    let counts = bench.image(1).site_counts();
+    for pass in OptPass::ALL {
+        let result = sweep(
+            &m,
+            &bench,
+            &strategy,
+            SweepTarget::Path(JvmPath::Opt(pass)),
+            &cal,
+            &pow2_targets(0, 8),
+            env.clone(),
+            cfg.run,
+        );
+        let (k, err) = result
+            .fit
+            .map(|f| (f.k, f.relative_error() * 100.0))
+            .unwrap_or((f64::NAN, f64::NAN));
+        let n = counts.get(&JvmPath::Opt(pass)).copied().unwrap_or(0);
+        println!("  {:<26} k={k:.5} ±{err:.0}%  ({n} sites)", pass.name());
+        t.row(vec![
+            pass.name().to_string(),
+            format!("{k:.5}"),
+            format!("{err:.0}"),
+            n.to_string(),
+        ]);
+    }
+    println!();
+    println!("Interpretation: the fitted k bounds the whole-program effect of speeding");
+    println!("up or slowing down the code each pass touches — the same reasoning the");
+    println!("paper applies to barrier code paths, now applied to optimisation sites.");
+    let path = results_dir().join("ext_jit_optsites.csv");
+    t.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,37 @@
+//! Fig. 1: an example of fitting the sensitivity model to a cost-function
+//! sweep. The paper's example fits k = 0.00277 ± 2.5% over cost sizes up to
+//! 2^14; we sweep h2 on ARM, whose sensitivity sits in the same band.
+
+use wmm_bench::{cli_config, fig1_example_fit, results_dir};
+use wmmbench::report::{ascii_sweep, Table};
+
+fn main() {
+    let cfg = cli_config();
+    let result = fig1_example_fit(cfg);
+
+    println!("Fig. 1 — example sensitivity fit (h2, ARM, all barriers)");
+    println!("paper example: k = 0.00277 ±2.5%");
+    match &result.fit {
+        Some(f) => println!(
+            "measured:      {} (R² = {:.4})",
+            f.display(),
+            f.r_squared
+        ),
+        None => println!("measured:      fit did not converge"),
+    }
+    println!();
+    println!("{}", ascii_sweep(&result, 40));
+
+    let mut t = Table::new(&["cost_ns", "rel_perf", "rel_min", "rel_max"]);
+    for p in &result.points {
+        t.row(vec![
+            format!("{:.2}", p.actual_ns),
+            format!("{:.5}", p.rel_perf),
+            format!("{:.5}", p.rel_min),
+            format!("{:.5}", p.rel_max),
+        ]);
+    }
+    let path = results_dir().join("fig1_fit.csv");
+    t.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,49 @@
+//! Fig. 4: time taken to execute the cost functions vs loop count, for the
+//! three variants: arm (with stack spill), arm-nostack (OpenJDK's scratch
+//! register), power. Shows the sub-linear small-N region and the linear
+//! large-N slopes (~1 cycle/iteration: 0.42 ns on ARM, 0.27 ns on POWER).
+
+use wmm_bench::{fig4_costfn_calibration, results_dir};
+use wmmbench::report::Table;
+
+fn main() {
+    let cals = fig4_costfn_calibration();
+
+    println!("Fig. 4 — cost function execution time (ns) vs loop count N");
+    print!("{:>8}", "N");
+    for (label, _) in &cals {
+        print!("{label:>14}");
+    }
+    println!();
+    let npoints = cals[0].1.points.len();
+    for i in 0..npoints {
+        print!("{:>8}", cals[0].1.points[i].0);
+        for (_, cal) in &cals {
+            print!("{:>14.2}", cal.points[i].1);
+        }
+        println!();
+    }
+
+    // Large-N slope check against the paper's cycle rates.
+    println!();
+    for (label, cal) in &cals {
+        let n = cal.points.len();
+        let (n0, t0) = cal.points[n - 2];
+        let (n1, t1) = cal.points[n - 1];
+        let slope = (t1 - t0) / (n1 - n0) as f64;
+        println!("{label:<14} large-N slope: {slope:.3} ns/iter");
+    }
+
+    let mut t = Table::new(&["n", "arm_ns", "arm_nostack_ns", "power_ns"]);
+    for i in 0..npoints {
+        t.row(vec![
+            format!("{}", cals[0].1.points[i].0),
+            format!("{:.3}", cals[0].1.points[i].1),
+            format!("{:.3}", cals[1].1.points[i].1),
+            format!("{:.3}", cals[2].1.points[i].1),
+        ]);
+    }
+    let path = results_dir().join("fig4_costfn.csv");
+    t.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+}

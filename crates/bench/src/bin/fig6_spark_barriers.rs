@@ -1,0 +1,57 @@
+//! Fig. 6: performance impact on the spark benchmark of the cost function
+//! injected into each *elemental* memory barrier in turn, on both
+//! architectures. StoreStore dominates on both; the ARM implementation's
+//! defensiveness shows as high LoadLoad/LoadStore sensitivity, while POWER
+//! relies on StoreStore/StoreLoad.
+
+use wmm_bench::{cli_config, fig6_spark_elementals, results_dir};
+use wmm_sim::arch::Arch;
+use wmmbench::report::Table;
+
+const PAPER_ARM: [(&str, f64); 4] = [
+    ("LoadLoad", 0.00580),
+    ("LoadStore", 0.00592),
+    ("StoreLoad", 0.00507),
+    ("StoreStore", 0.00885),
+];
+const PAPER_POWER: [(&str, f64); 4] = [
+    ("LoadLoad", 0.00102),
+    ("LoadStore", 0.00743),
+    ("StoreLoad", 0.00093),
+    ("StoreStore", 0.01333),
+];
+
+fn main() {
+    let cfg = cli_config();
+    println!("Fig. 6 — spark sensitivity per elemental barrier");
+    let mut table = Table::new(&["arch", "barrier", "k", "k_paper"]);
+    let mut csv = Table::new(&["arch", "barrier", "cost_ns", "rel_perf"]);
+    for (arch, paper) in [(Arch::ArmV8, PAPER_ARM), (Arch::Power7, PAPER_POWER)] {
+        for (e, s) in fig6_spark_elementals(arch, cfg) {
+            let p = paper
+                .iter()
+                .find(|(n, _)| *n == e.name())
+                .map(|(_, k)| *k)
+                .unwrap_or(f64::NAN);
+            let k = s.fit.as_ref().map(|f| f.k).unwrap_or(f64::NAN);
+            table.row(vec![
+                arch.label().to_string(),
+                e.name().to_string(),
+                format!("{k:.5}"),
+                format!("{p:.5}"),
+            ]);
+            for pt in &s.points {
+                csv.row(vec![
+                    arch.label().to_string(),
+                    e.name().to_string(),
+                    format!("{:.2}", pt.actual_ns),
+                    format!("{:.5}", pt.rel_perf),
+                ]);
+            }
+        }
+    }
+    println!("{}", table.markdown());
+    let path = results_dir().join("fig6_spark_elementals.csv");
+    csv.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+}

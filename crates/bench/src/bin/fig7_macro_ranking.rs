@@ -1,0 +1,27 @@
+//! Fig. 7: sum of relative performance for all benchmarks, aggregated per
+//! memory-model macro (1024-iteration cost function injected into each macro
+//! in turn). Lower sum = bigger impact. The paper finds `smp_mb`,
+//! `read_once` and `read_barrier_depends` have the most impact.
+
+use wmm_bench::{cli_config, linux_ranking, results_dir};
+use wmmbench::report::Table;
+
+fn main() {
+    let cfg = cli_config();
+    let m = linux_ranking(cfg);
+    println!(
+        "Fig. 7 — Linux macro impact ranking ({} data points)",
+        m.data_points()
+    );
+    let mut t = Table::new(&["macro", "sum_rel_perf"]);
+    for (mac, sum) in m.by_path_impact() {
+        println!("  {:<24} {sum:6.2}", mac.name());
+        t.row(vec![mac.name().to_string(), format!("{sum:.3}")]);
+    }
+    println!();
+    println!("paper: smp_mb, read_once and read_barrier_depends have the most impact;");
+    println!("the mandatory mb/rmb/wmb barriers the least.");
+    let path = results_dir().join("fig7_macro_ranking.csv");
+    t.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,43 @@
+//! Fig. 8: sum of relative performance aggregated across all macro
+//! modifications, per benchmark. The microbenchmarks (netperf, lmbench,
+//! ebizzy) are most sensitive; the JVM benchmarks (h2, spark) are almost
+//! completely insensitive to kernel macros — they "rely heavily on the JVM
+//! to coordinate their concurrency and thus have very few interactions with
+//! the kernel."
+
+use wmm_bench::{cli_config, linux_ranking, results_dir};
+use wmmbench::report::Table;
+
+const PAPER_ORDER: [&str; 9] = [
+    "netperf_tcp",
+    "lmbench",
+    "netperf_udp",
+    "ebizzy",
+    "xalan",
+    "osm_stack",
+    "osm_tiles",
+    "kernel_compile",
+    "spark",
+];
+
+fn main() {
+    let cfg = cli_config();
+    let m = linux_ranking(cfg);
+    println!("Fig. 8 — Linux benchmark sensitivity ranking");
+    let mut t = Table::new(&["benchmark", "sum_rel_perf", "paper_rank"]);
+    for (b, sum) in m.by_benchmark_sensitivity() {
+        let rank = PAPER_ORDER
+            .iter()
+            .position(|n| *n == b)
+            .map(|i| (i + 1).to_string())
+            .unwrap_or_else(|| "10/11 (h2 last)".to_string());
+        println!("  {b:<16} {sum:6.2}   (paper rank {rank})");
+        t.row(vec![b, format!("{sum:.3}"), rank]);
+    }
+    println!();
+    println!("paper order: netperf_tcp, lmbench, netperf_udp, ebizzy, xalan,");
+    println!("osm_stack (avg), osm_stack (max), osm_tiles, kernel_compile, spark, h2");
+    let path = results_dir().join("fig8_bench_ranking.csv");
+    t.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,58 @@
+//! Fig. 9: sensitivity analysis of the six most interesting kernel
+//! benchmarks with respect to the `read_barrier_depends` code path.
+
+use wmm_bench::{cli_config, fig9_rbd_sweeps, results_dir};
+use wmmbench::report::{ascii_sweep, Table};
+
+const PAPER: [(&str, f64); 6] = [
+    ("ebizzy", 0.00106),
+    ("xalan", 0.00038),
+    ("netperf_udp", 0.00943),
+    ("osm_stack", 0.00019),
+    ("lmbench", 0.00525),
+    ("netperf_tcp", 0.00355),
+];
+
+fn main() {
+    let cfg = cli_config();
+    println!("Fig. 9 — read_barrier_depends sensitivity");
+    let sweeps = fig9_rbd_sweeps(cfg);
+    let mut t = Table::new(&["benchmark", "k", "k_err_pct", "k_paper"]);
+    let mut csv = Table::new(&["benchmark", "cost_ns", "rel_perf", "rel_min", "rel_max"]);
+    for s in &sweeps {
+        let paper = PAPER
+            .iter()
+            .find(|(n, _)| *n == s.benchmark)
+            .map(|(_, k)| *k)
+            .unwrap_or(f64::NAN);
+        let (k, err) = s
+            .fit
+            .as_ref()
+            .map(|f| (f.k, f.relative_error() * 100.0))
+            .unwrap_or((f64::NAN, f64::NAN));
+        t.row(vec![
+            s.benchmark.clone(),
+            format!("{k:.5}"),
+            format!("{err:.0}"),
+            format!("{paper:.5}"),
+        ]);
+        for p in &s.points {
+            csv.row(vec![
+                s.benchmark.clone(),
+                format!("{:.2}", p.actual_ns),
+                format!("{:.5}", p.rel_perf),
+                format!("{:.5}", p.rel_min),
+                format!("{:.5}", p.rel_max),
+            ]);
+        }
+    }
+    println!("{}", t.markdown());
+    for s in &sweeps {
+        println!("{}", ascii_sweep(s, 40));
+    }
+    println!("paper shape: netperf_udp most sensitive, lmbench next, the real-world");
+    println!("applications (osm_stack, xalan) very low; netperf_tcp sensitive but unstable.");
+    let path = results_dir().join("fig9_rbd.csv");
+    csv.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+}

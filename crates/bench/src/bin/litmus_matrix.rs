@@ -1,0 +1,34 @@
+//! Validation artefact: run the full litmus suite under every memory model
+//! and print the expected-vs-observed allow/forbid matrix. This is the
+//! semantic ground truth behind the fence kinds the timing model prices.
+
+use wmm_litmus::suite::run_full_suite;
+use wmmbench::report::Table;
+
+fn main() {
+    println!("Litmus validation matrix (operational model, exhaustive DFS)");
+    let rows = run_full_suite();
+    let mut t = Table::new(&["test", "model", "expected", "observed", "ok"]);
+    let mut failures = 0;
+    for (name, model, expected, observed) in &rows {
+        let fmt = |b: bool| if b { "allowed" } else { "forbidden" };
+        if expected != observed {
+            failures += 1;
+        }
+        t.row(vec![
+            name.clone(),
+            model.label().to_string(),
+            fmt(*expected).to_string(),
+            fmt(*observed).to_string(),
+            if expected == observed { "✓" } else { "✗" }.to_string(),
+        ]);
+    }
+    println!("{}", t.markdown());
+    println!("{} checks, {} failures", rows.len(), failures);
+    let path = wmm_bench::results_dir().join("litmus_matrix.csv");
+    t.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

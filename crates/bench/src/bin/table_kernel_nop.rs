@@ -1,0 +1,22 @@
+//! §4.3: the nop-padded base-case kernel vs the truly unmodified kernel.
+//! The paper observes a mean 1.9% drop with the largest (6.6%) in netperf;
+//! all further kernel measurements are made against the padded kernel.
+
+use wmm_bench::{cli_config, kernel_nop_overhead, results_dir};
+use wmmbench::report::Table;
+
+fn main() {
+    let cfg = cli_config();
+    println!("§4.3 — kernel nop-padding overhead vs unmodified kernel");
+    let rows = kernel_nop_overhead(cfg);
+    let mut t = Table::new(&["benchmark", "rel_perf_pct"]);
+    for d in &rows {
+        println!("  {:<16} {:+.1}%", d.bench, d.cmp.percent_change());
+        t.row(vec![d.bench.clone(), format!("{:+.2}", d.cmp.percent_change())]);
+    }
+    let mean: f64 = rows.iter().map(|r| r.cmp.percent_change()).sum::<f64>() / rows.len() as f64;
+    println!("  mean {mean:+.1}%   (paper: mean -1.9%, worst netperf -6.6%)");
+    let path = results_dir().join("table_kernel_nop.csv");
+    t.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+}

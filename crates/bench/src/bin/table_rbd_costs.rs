@@ -1,0 +1,48 @@
+//! §4.3.1: equivalent per-invocation cost `a` (Eq. 2) of each rbd strategy,
+//! from the lmbench microbenchmark suite vs the mean of the other
+//! benchmarks. The headline divergences: `ctrl` looks cheap in vitro but
+//! costs more in vivo (branch-predictor pressure), while `dmb ishld` looks
+//! expensive in vitro but is nearly free in vivo (quiet load queues) — "the
+//! dmb ishld results support it having complex behaviour, and not simply
+//! mapping to dmb ish." `ctrl+isb` is the same everywhere.
+
+use wmm_bench::{cli_config, rbd_cost_estimates, results_dir};
+use wmmbench::report::Table;
+
+fn main() {
+    let cfg = cli_config();
+    println!("§4.3.1 — rbd strategy cost estimates (Eq. 2), ns per invocation");
+    let paper = [
+        ("ctrl", 4.6, 10.1),
+        ("ctrl+isb", 24.5, 24.5),
+        ("dmb ishld", 10.7, 1.8),
+        ("dmb ish", 11.0, 10.7),
+        ("la/sr", 21.7, 15.9),
+    ];
+    let mut t = Table::new(&[
+        "strategy",
+        "a_lmbench",
+        "a_others",
+        "paper_lmbench",
+        "paper_others",
+    ]);
+    for (s, a_lm, a_others) in rbd_cost_estimates(cfg) {
+        let (p_lm, p_ot) = paper
+            .iter()
+            .find(|(n, _, _)| *n == s.label())
+            .map(|(_, a, b)| (*a, *b))
+            .unwrap_or((f64::NAN, f64::NAN));
+        t.row(vec![
+            s.label().to_string(),
+            format!("{a_lm:.1}"),
+            format!("{a_others:.1}"),
+            format!("{p_lm:.1}"),
+            format!("{p_ot:.1}"),
+        ]);
+    }
+    println!("{}", t.markdown());
+    println!("key shapes: ctrl micro << macro; dmb ishld micro >> macro; ctrl+isb equal.");
+    let path = results_dir().join("table_rbd_costs.csv");
+    t.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+}

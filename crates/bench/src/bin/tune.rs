@@ -1,0 +1,99 @@
+//! Calibration harness: prints measured sensitivities next to the paper's
+//! published values, for tuning workload profiles. Not a paper artefact —
+//! use the `fig*` binaries for those.
+
+use wmm_bench::{fig5_openjdk_sweeps, fig6_spark_elementals, fig9_rbd_sweeps, ExpConfig};
+use wmm_sim::arch::Arch;
+
+fn main() {
+    let cfg = if std::env::args().any(|a| a == "--full") {
+        ExpConfig::full()
+    } else {
+        ExpConfig {
+            scale: 0.5,
+            run: wmmbench::runner::RunConfig {
+                samples: 4,
+                warmups: 1,
+                base_seed: 0x1CEB00DA,
+            },
+        }
+    };
+
+    let paper_fig5 = [
+        ("h2", 0.00339, 0.00251),
+        ("lusearch", 0.00213, 0.00118),
+        ("spark", 0.00870, 0.01227),
+        ("sunflow", 0.00187, 0.00164),
+        ("tomcat", 0.00250, 0.00397),
+        ("tradebeans", 0.00262, 0.00385),
+        ("tradesoap", 0.00238, 0.00314),
+        ("xalan", 0.00606, 0.00152),
+    ];
+
+    println!("== Fig. 5: all-barrier sensitivity (measured vs paper) ==");
+    for arch in [Arch::ArmV8, Arch::Power7] {
+        println!("-- {} --", arch.label());
+        let sweeps = fig5_openjdk_sweeps(arch, cfg);
+        for s in sweeps {
+            let paper = paper_fig5
+                .iter()
+                .find(|(n, _, _)| *n == s.benchmark)
+                .map(|(_, a, p)| if arch == Arch::ArmV8 { *a } else { *p })
+                .unwrap_or(f64::NAN);
+            match &s.fit {
+                Some(f) => println!(
+                    "  {:<11} k={:.5} (paper {:.5})  ±{:.0}%  err-width {:.3}",
+                    s.benchmark,
+                    f.k,
+                    paper,
+                    f.relative_error() * 100.0,
+                    s.mean_error_width()
+                ),
+                None => println!("  {:<11} fit failed (paper {:.5})", s.benchmark, paper),
+            }
+        }
+    }
+
+    println!("== Fig. 6: spark per-elemental (measured vs paper) ==");
+    let paper_fig6_arm = [0.00580, 0.00592, 0.00507, 0.00885];
+    let paper_fig6_pow = [0.00102, 0.00743, 0.00093, 0.01333];
+    for (arch, paper) in [
+        (Arch::ArmV8, paper_fig6_arm),
+        (Arch::Power7, paper_fig6_pow),
+    ] {
+        println!("-- {} --", arch.label());
+        for ((e, s), p) in fig6_spark_elementals(arch, cfg).iter().zip(paper) {
+            match &s.fit {
+                Some(f) => println!("  {:<10} k={:.5} (paper {:.5})", e.name(), f.k, p),
+                None => println!("  {:<10} fit failed (paper {:.5})", e.name(), p),
+            }
+        }
+    }
+
+    println!("== Fig. 9: rbd sensitivity (measured vs paper) ==");
+    let paper_fig9 = [
+        ("ebizzy", 0.00106),
+        ("xalan", 0.00038),
+        ("netperf_udp", 0.00943),
+        ("osm_stack", 0.00019),
+        ("lmbench", 0.00525),
+        ("netperf_tcp", 0.00355),
+    ];
+    for s in fig9_rbd_sweeps(cfg) {
+        let paper = paper_fig9
+            .iter()
+            .find(|(n, _)| *n == s.benchmark)
+            .map(|(_, k)| *k)
+            .unwrap_or(f64::NAN);
+        match &s.fit {
+            Some(f) => println!(
+                "  {:<12} k={:.5} (paper {:.5})  ±{:.0}%",
+                s.benchmark,
+                f.k,
+                paper,
+                f.relative_error() * 100.0
+            ),
+            None => println!("  {:<12} fit failed (paper {:.5})", s.benchmark, paper),
+        }
+    }
+}

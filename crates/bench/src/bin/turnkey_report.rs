@@ -1,0 +1,53 @@
+//! Conclusion extension: the turnkey evaluation system. One command takes a
+//! (machine, benchmark, strategy) triple and runs the complete methodology:
+//! calibrate, discover code paths, sweep each, fit, classify usability, and
+//! rank — "potentially yielding a turnkey evaluation system".
+
+use wmm_bench::{cli_config, machine, results_dir};
+use wmm_kernel::macros::default_arm_strategy;
+use wmm_sim::arch::Arch;
+use wmm_workloads::kernel::{kernel_profile, KernelBench};
+use wmmbench::report::write_json;
+use wmmbench::turnkey::{evaluate, Usability};
+
+fn main() {
+    let cfg = cli_config();
+    let m = machine(Arch::ArmV8);
+    let strategy = default_arm_strategy();
+    let bench = KernelBench::new(kernel_profile("netperf_udp").expect("exists"), cfg.scale);
+
+    println!("Turnkey evaluation: netperf_udp on the default ARMv8 kernel strategy\n");
+    let report = evaluate(
+        &m,
+        &bench,
+        &strategy,
+        true,
+        9,
+        Usability::default(),
+        cfg.run,
+    );
+    println!(
+        "{:<24} {:>10} {:>12} {:>12} {:>8}",
+        "code path", "sites", "k", "instability", "usable"
+    );
+    for p in &report.paths {
+        let k = p.fit.as_ref().map(|f| f.k).unwrap_or(f64::NAN);
+        println!(
+            "{:<24} {:>10} {:>12.5} {:>12.3} {:>8}",
+            p.path,
+            p.invocations,
+            k,
+            p.instability,
+            if p.usable { "yes" } else { "no" }
+        );
+    }
+    if let Some(hot) = report.hottest_usable() {
+        println!(
+            "\nrecommendation: optimisation effort should start at `{}` — the most\nsensitive code path this benchmark can reliably evaluate.",
+            hot.path
+        );
+    }
+    let path = results_dir().join("turnkey_netperf_udp.json");
+    write_json(&path, &report).expect("write json");
+    println!("wrote {}", path.display());
+}

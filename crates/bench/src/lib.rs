@@ -1,0 +1,28 @@
+//! # wmm-bench
+//!
+//! Experiment drivers regenerating every table and figure of
+//! *Benchmarking Weak Memory Models*. Each `fig*`/`table*` binary in
+//! `src/bin/` prints a paper-vs-measured artefact and writes CSV into
+//! `results/`; the logic lives here so integration tests can assert the
+//! shapes without shelling out.
+//!
+//! | Artefact | Function | Binary |
+//! |---|---|---|
+//! | Fig. 1 | [`experiments::fig1_example_fit`] | `fig1_fit` |
+//! | Fig. 4 | [`experiments::fig4_costfn_calibration`] | `fig4_costfn` |
+//! | Fig. 5 | [`experiments::fig5_openjdk_sweeps`] | `fig5_openjdk_sweep` |
+//! | Fig. 6 | [`experiments::fig6_spark_elementals`] | `fig6_spark_barriers` |
+//! | §4.2.1 tables | [`experiments::storestore_experiment`] and friends | `table_jvm_strategies` |
+//! | Fig. 7 | [`experiments::linux_ranking`] | `fig7_macro_ranking` |
+//! | Fig. 8 | [`experiments::linux_ranking`] | `fig8_bench_ranking` |
+//! | Fig. 9 | [`experiments::fig9_rbd_sweeps`] | `fig9_rbd_sensitivity` |
+//! | Fig. 10 | [`experiments::fig10_rbd_strategies`] | `fig10_rbd_strategies` |
+//! | §4.3.1 cost table | [`experiments::rbd_cost_estimates`] | `table_rbd_costs` |
+//! | litmus matrix | `wmm_litmus::suite::run_full_suite` | `litmus_matrix` |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::*;

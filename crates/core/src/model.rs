@@ -1,0 +1,207 @@
+//! The idealised sensitivity model — Equations 1 and 2 of the paper.
+//!
+//! Benchmark performance `p`, normalised to the base case, under a cost
+//! function of `a` nanoseconds injected into a code path with sensitivity
+//! `k`:
+//!
+//! ```text
+//! p = 1 / ((1-k) + k·a)            (Eq. 1)
+//! ```
+//!
+//! The paper uses `1/((1-k)+ka)` instead of `1/(1+ka)` because the base case
+//! is never truly `a = 0`: it carries the `nop` padding and untaken branches,
+//! normalised to one nanosecond here. Solving for `a` gives the cost that a
+//! measured performance ratio implies:
+//!
+//! ```text
+//! a = -((1-k)·p - 1) / (k·p)       (Eq. 2)
+//! ```
+//!
+//! Eq. 2 is what lets in-vitro and in-vivo measurements be compared on one
+//! scale (§3): measure `k` once per (benchmark, code path), then any real
+//! strategy change's performance ratio converts to "equivalent ns per
+//! invocation".
+
+use serde::{Deserialize, Serialize};
+use wmm_stats::{curve_fit, FitOptions};
+
+/// Eq. 1: predicted normalised performance for sensitivity `k` and
+/// per-invocation cost `a` (ns).
+pub fn predicted_performance(k: f64, a: f64) -> f64 {
+    1.0 / ((1.0 - k) + k * a)
+}
+
+/// Eq. 2: per-invocation cost (ns) implied by measured normalised
+/// performance `p` under sensitivity `k`.
+pub fn estimate_cost(k: f64, p: f64) -> f64 {
+    -(((1.0 - k) * p) - 1.0) / (k * p)
+}
+
+/// Result of fitting Eq. 1 to a sweep of `(a, p)` samples.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SensitivityFit {
+    /// Fitted sensitivity.
+    pub k: f64,
+    /// Standard error of `k` (scipy-`curve_fit`-style, from the Jacobian).
+    pub k_std_err: f64,
+    /// Coefficient of determination of the fit.
+    pub r_squared: f64,
+}
+
+impl SensitivityFit {
+    /// Relative error of the estimate — the paper's "`k = 0.00277 ± 2.5%`".
+    pub fn relative_error(&self) -> f64 {
+        if self.k == 0.0 {
+            f64::INFINITY
+        } else {
+            (self.k_std_err / self.k).abs()
+        }
+    }
+
+    /// The paper's usability rule of thumb (§3): a benchmark is suited to
+    /// evaluating a code path when its sensitivity is not comparatively low
+    /// and the fit variance is not high.
+    pub fn usable(&self, min_k: f64, max_rel_err: f64) -> bool {
+        self.k >= min_k && self.relative_error() <= max_rel_err
+    }
+
+    /// Format as the paper prints it, e.g. `k=0.00885 ±3%`.
+    pub fn display(&self) -> String {
+        format!("k={:.5} ±{:.0}%", self.k, self.relative_error() * 100.0)
+    }
+}
+
+/// Fit Eq. 1 to `(a_ns, p)` samples by non-linear least squares.
+///
+/// Returns `None` when the fit fails to converge to a finite, positive
+/// sensitivity — which the methodology treats as "this benchmark is not
+/// usable for this code path", not as an error.
+pub fn fit_sensitivity(samples: &[(f64, f64)]) -> Option<SensitivityFit> {
+    if samples.len() < 2 {
+        return None;
+    }
+    let xs: Vec<f64> = samples.iter().map(|&(a, _)| a).collect();
+    let ys: Vec<f64> = samples.iter().map(|&(_, p)| p).collect();
+    let fit = curve_fit(
+        |a, params| predicted_performance(params[0], a),
+        &xs,
+        &ys,
+        &[1e-4],
+        FitOptions::default(),
+    )
+    .ok()?;
+    let k = fit.params[0];
+    if !k.is_finite() {
+        return None;
+    }
+    Some(SensitivityFit {
+        k,
+        k_std_err: fit.std_errors[0],
+        r_squared: fit.r_squared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn performance_is_one_at_unit_cost() {
+        // The base case is normalised to a = 1 ns: p(1) = 1 for any k.
+        for k in [0.0001, 0.003, 0.0133, 0.5] {
+            assert!((predicted_performance(k, 1.0) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn performance_decreases_with_cost() {
+        let k = 0.00885; // spark/ARM StoreStore (Fig. 6)
+        let mut prev = f64::INFINITY;
+        for e in 0..10 {
+            let p = predicted_performance(k, (1u64 << e) as f64);
+            assert!(p < prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn higher_sensitivity_hurts_more() {
+        let a = 64.0;
+        assert!(predicted_performance(0.01, a) < predicted_performance(0.001, a));
+    }
+
+    #[test]
+    fn eq2_inverts_eq1() {
+        for &k in &[0.001, 0.00885, 0.0133] {
+            for &a in &[1.0, 4.0, 64.0, 512.0] {
+                let p = predicted_performance(k, a);
+                let a_back = estimate_cost(k, p);
+                assert!(
+                    (a_back - a).abs() < 1e-9,
+                    "k={k} a={a}: roundtrip gave {a_back}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_power_storestore_example() {
+        // §4.2.1: mean performance 0.87530 with k = 0.01332662 computes an
+        // increase in StoreStore execution time of 11.7 ns.
+        let a = estimate_cost(0.013_326_62, 0.875_30);
+        assert!((a - 11.7).abs() < 0.3, "a = {a}");
+    }
+
+    #[test]
+    fn paper_arm_storestore_example() {
+        // §4.2.1: mean performance 0.99293 with k = 0.00884788 suggests an
+        // increase in StoreStore time of ~1.8 ns.
+        let a = estimate_cost(0.008_847_88, 0.992_93);
+        assert!((a - 1.8).abs() < 0.2, "a = {a}");
+    }
+
+    #[test]
+    fn fit_recovers_known_sensitivity() {
+        let k = 0.00277; // Fig. 1
+        let samples: Vec<(f64, f64)> = (0..15)
+            .map(|e| {
+                let a = (1u64 << e) as f64;
+                (a, predicted_performance(k, a))
+            })
+            .collect();
+        let fit = fit_sensitivity(&samples).unwrap();
+        assert!((fit.k - k).abs() / k < 1e-6);
+        assert!(fit.r_squared > 0.999_999);
+        assert!(fit.usable(1e-4, 0.15));
+    }
+
+    #[test]
+    fn fit_flags_insensitive_benchmarks() {
+        // Flat response => k near zero => not usable.
+        let samples: Vec<(f64, f64)> = (0..10)
+            .map(|e| ((1u64 << e) as f64, 1.0 + 0.001 * ((e % 3) as f64 - 1.0)))
+            .collect();
+        let fit = fit_sensitivity(&samples).unwrap();
+        assert!(
+            !fit.usable(1e-4, 0.15),
+            "flat benchmark should be unusable: {}",
+            fit.display()
+        );
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_input() {
+        assert!(fit_sensitivity(&[]).is_none());
+        assert!(fit_sensitivity(&[(1.0, 1.0)]).is_none());
+    }
+
+    #[test]
+    fn display_matches_paper_format() {
+        let fit = SensitivityFit {
+            k: 0.00885,
+            k_std_err: 0.00885 * 0.03,
+            r_squared: 0.99,
+        };
+        assert_eq!(fit.display(), "k=0.00885 ±3%");
+    }
+}

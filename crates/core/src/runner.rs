@@ -1,0 +1,230 @@
+//! The measurement harness: run benchmarks under rewriter configurations,
+//! with warm-ups, repeated samples and the paper's statistics.
+//!
+//! §4.1: "Unless otherwise noted all reported results are geometric mean
+//! (reduce impact of outliers) from six or more samples measured after one
+//! or more warm-up runs of a given benchmark. All error bars represent a 95%
+//! confidence interval computed using the Student's t-distribution."
+
+use std::hash::Hash;
+
+use wmm_sim::Machine;
+use wmm_stats::{confidence_interval, Comparison, ConfidenceInterval, Summary};
+
+use crate::image::{Image, SiteRewriter};
+
+/// A benchmark: a black box producing a program image per sample seed.
+///
+/// Seed-dependence is how the paper's run-to-run variation appears: workload
+/// generators vary their interleavings, access patterns and noise with the
+/// seed, so repeated samples spread exactly like repeated executions.
+pub trait BenchSpec<P> {
+    /// Benchmark name as printed in figures (e.g. "spark", "netperf_udp").
+    fn name(&self) -> &str;
+
+    /// Produce the image for one sample.
+    fn image(&self, seed: u64) -> Image<P>;
+}
+
+/// Sampling configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Samples kept (the paper uses six or more).
+    pub samples: usize,
+    /// Warm-up runs discarded (the paper discards the first two).
+    pub warmups: usize,
+    /// Base seed; sample `i` uses `base_seed + i`.
+    pub base_seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            samples: 6,
+            warmups: 2,
+            base_seed: 0x1CEB00DA,
+        }
+    }
+}
+
+impl RunConfig {
+    /// A faster configuration for unit tests and smoke runs.
+    pub fn quick() -> Self {
+        RunConfig {
+            samples: 3,
+            warmups: 1,
+            base_seed: 0x1CEB00DA,
+        }
+    }
+}
+
+/// A measured distribution of execution times for one configuration.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Per-sample wall times, ns (warm-ups excluded).
+    pub times_ns: Vec<f64>,
+    /// Work units per run, for throughput conversion.
+    pub work_units: f64,
+}
+
+impl Measurement {
+    /// Summary statistics of the times.
+    pub fn summary(&self) -> Summary {
+        Summary::of(&self.times_ns)
+    }
+
+    /// Throughput samples (work units per second).
+    pub fn throughput(&self) -> Vec<f64> {
+        self.times_ns
+            .iter()
+            .map(|t| self.work_units / (t * 1e-9))
+            .collect()
+    }
+
+    /// 95% confidence interval on the mean time.
+    pub fn ci95(&self) -> ConfidenceInterval {
+        confidence_interval(&self.times_ns, 0.95)
+    }
+}
+
+/// Run `bench` under `rewriter` on `machine` and collect samples.
+pub fn measure<P: Clone + Eq + Hash>(
+    machine: &Machine,
+    bench: &dyn BenchSpec<P>,
+    rewriter: &SiteRewriter<'_, P>,
+    cfg: RunConfig,
+) -> Measurement {
+    let mut times = Vec::with_capacity(cfg.samples);
+    let mut work_units = 1.0;
+    for i in 0..(cfg.warmups + cfg.samples) {
+        let seed = cfg.base_seed.wrapping_add(i as u64);
+        let image = bench.image(seed);
+        work_units = image.work_units;
+        let program = rewriter.link(&image);
+        let stats = machine.run(&program, &image.ctx, seed);
+        if i >= cfg.warmups {
+            times.push(stats.wall_ns);
+        }
+    }
+    Measurement {
+        times_ns: times,
+        work_units,
+    }
+}
+
+/// Measure a test configuration against a base configuration and return the
+/// relative performance (base time / test time; < 1 means the test case is
+/// slower), with the paper's compounded min/max error rule.
+pub fn measure_relative<P: Clone + Eq + Hash>(
+    machine: &Machine,
+    bench: &dyn BenchSpec<P>,
+    base: &SiteRewriter<'_, P>,
+    test: &SiteRewriter<'_, P>,
+    cfg: RunConfig,
+) -> Comparison {
+    let b = measure(machine, bench, base, cfg);
+    let t = measure(machine, bench, test, cfg);
+    Comparison::of_times(&t.times_ns, &b.times_ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costfn::CostFunction;
+    use crate::image::{compute_envelope, Injection, Segment};
+    use crate::strategy::FnStrategy;
+    use wmm_sim::arch::armv8_xgene1;
+    use wmm_sim::isa::{FenceKind, Instr};
+    use wmm_sim::machine::WorkloadCtx;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    struct OnlyPath;
+
+    struct Toy {
+        sites: usize,
+        compute: u32,
+    }
+
+    impl BenchSpec<OnlyPath> for Toy {
+        fn name(&self) -> &str {
+            "toy"
+        }
+
+        fn image(&self, _seed: u64) -> Image<OnlyPath> {
+            let mut segs = vec![];
+            for _ in 0..self.sites {
+                segs.push(Segment::Code(vec![Instr::Compute {
+                    cycles: self.compute,
+                }]));
+                segs.push(Segment::Site(OnlyPath));
+            }
+            Image {
+                threads: vec![segs],
+                ctx: WorkloadCtx::default(),
+                work_units: self.sites as f64,
+            }
+        }
+    }
+
+    #[test]
+    fn measurement_discards_warmups_and_keeps_samples() {
+        let machine = Machine::new(armv8_xgene1());
+        let strategy = FnStrategy::new("dmb", |_: &OnlyPath| {
+            vec![Instr::Fence(FenceKind::DmbIsh)]
+        });
+        let env = compute_envelope(&[OnlyPath], &[&strategy], 5);
+        let rw = SiteRewriter::new(&strategy, Injection::None, env);
+        let bench = Toy {
+            sites: 50,
+            compute: 100,
+        };
+        let m = measure(&machine, &bench, &rw, RunConfig::quick());
+        assert_eq!(m.times_ns.len(), 3);
+        assert!(m.summary().mean > 0.0);
+        assert_eq!(m.work_units, 50.0);
+        assert!(m.throughput().iter().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn injection_slows_the_benchmark() {
+        let machine = Machine::new(armv8_xgene1());
+        let strategy = FnStrategy::new("dmb", |_: &OnlyPath| {
+            vec![Instr::Fence(FenceKind::DmbIsh)]
+        });
+        let cf = CostFunction {
+            iters: 1 << 10,
+            stack_spill: true,
+        };
+        let env = compute_envelope(&[OnlyPath], &[&strategy], cf.size());
+        let base = SiteRewriter::new(&strategy, Injection::None, env.clone());
+        let test = SiteRewriter::new(&strategy, Injection::All(cf), env);
+        let bench = Toy {
+            sites: 100,
+            compute: 100,
+        };
+        let c = measure_relative(&machine, &bench, &base, &test, RunConfig::quick());
+        assert!(
+            c.ratio < 0.5,
+            "a 1024-iteration loop per site must hurt: p = {}",
+            c.ratio
+        );
+        assert!(c.significant());
+    }
+
+    #[test]
+    fn identical_configs_show_no_change() {
+        let machine = Machine::new(armv8_xgene1());
+        let strategy = FnStrategy::new("dmb", |_: &OnlyPath| {
+            vec![Instr::Fence(FenceKind::DmbIsh)]
+        });
+        let env = compute_envelope(&[OnlyPath], &[&strategy], 5);
+        let a = SiteRewriter::new(&strategy, Injection::None, env.clone());
+        let b = SiteRewriter::new(&strategy, Injection::None, env);
+        let bench = Toy {
+            sites: 50,
+            compute: 100,
+        };
+        let c = measure_relative(&machine, &bench, &a, &b, RunConfig::quick());
+        assert!((c.ratio - 1.0).abs() < 1e-9, "p = {}", c.ratio);
+    }
+}

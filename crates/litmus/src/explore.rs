@@ -1,0 +1,502 @@
+//! Exhaustive state-space exploration.
+//!
+//! The executor enumerates every interleaving of *eligible* operations (an
+//! operation is eligible when every earlier same-thread operation that the
+//! model orders before it has executed) and, on non-multi-copy-atomic
+//! models, every store-propagation schedule. Depth-first search with
+//! memoisation keeps the search finite and fast — litmus tests have a
+//! handful of operations, so state counts stay in the low thousands.
+
+use std::collections::HashSet;
+
+use crate::ops::{FClass, LOp, LitmusTest, ModelKind, Outcome};
+
+/// A committed store in coherence order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct StoreRec {
+    var: usize,
+    val: u32,
+    owner: usize,
+    /// Bitmask of threads this store has propagated to.
+    mask: u32,
+    /// Stores (by id) that must be visible to a thread before this one may
+    /// propagate to it — `lwsync`/`sync` cumulativity on POWER.
+    prereqs: Vec<usize>,
+}
+
+/// Search state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct State {
+    /// Bitmask of executed ops per thread.
+    executed: Vec<u32>,
+    /// Register files, one per thread.
+    regs: Vec<Vec<u32>>,
+    /// Committed stores in coherence (commit) order.
+    stores: Vec<StoreRec>,
+    /// For each thread/op: the store id it read or wrote (for group-A sets).
+    touched: Vec<Vec<Option<usize>>>,
+}
+
+/// The set of reachable final states of a litmus test: register files plus
+/// the final memory value of every variable (the last store in coherence
+/// order; variables never stored keep their initial 0).
+#[derive(Debug, Clone)]
+pub struct OutcomeSet {
+    /// Final `(registers, memory)` pairs: registers are one inner vec per
+    /// thread indexed by register; memory is indexed by variable.
+    pub finals: HashSet<(Vec<Vec<u32>>, Vec<u32>)>,
+    /// Number of distinct states visited (for curiosity/diagnostics).
+    pub states_visited: usize,
+}
+
+impl OutcomeSet {
+    /// Is the conjunctive register assertion reachable?
+    pub fn allows(&self, outcome: &Outcome) -> bool {
+        self.finals
+            .iter()
+            .any(|(f, _)| outcome.iter().all(|&(t, r, v)| f[t][r] == v))
+    }
+
+    /// Is the combined register + final-memory assertion reachable?
+    /// `memory` entries are `(var, value)` conjuncts — the classic
+    /// final-state conditions of the S, R and 2+2W shapes.
+    pub fn allows_with_memory(&self, outcome: &Outcome, memory: &[(usize, u32)]) -> bool {
+        self.finals.iter().any(|(regs, mem)| {
+            outcome.iter().all(|&(t, r, v)| regs[t][r] == v)
+                && memory
+                    .iter()
+                    .all(|&(var, v)| mem.get(var).copied().unwrap_or(0) == v)
+        })
+    }
+
+    /// Number of distinct final states.
+    pub fn len(&self) -> usize {
+        self.finals.len()
+    }
+
+    /// True if no execution completed (cannot happen for well-formed tests).
+    pub fn is_empty(&self) -> bool {
+        self.finals.is_empty()
+    }
+}
+
+struct Explorer<'t> {
+    test: &'t LitmusTest,
+    model: ModelKind,
+    all_mask: u32,
+    num_vars: usize,
+    seen: HashSet<State>,
+    finals: HashSet<(Vec<Vec<u32>>, Vec<u32>)>,
+}
+
+impl<'t> Explorer<'t> {
+    /// Latest visible store id for `var` as seen by `thread`, if any.
+    fn latest_visible(&self, st: &State, thread: usize, var: usize) -> Option<usize> {
+        st.stores
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, s)| s.var == var && s.mask & (1 << thread) != 0)
+            .map(|(i, _)| i)
+    }
+
+    /// Is op `(t, j)` eligible to execute?
+    fn eligible(&self, st: &State, t: usize, j: usize) -> bool {
+        if st.executed[t] & (1 << j) != 0 {
+            return false;
+        }
+        for i in 0..j {
+            if st.executed[t] & (1 << i) == 0 && self.test.ordered(self.model, t, i, j) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Group-A store set for an op at index `j` of thread `t`: everything the
+    /// thread has read or written at earlier (executed) ops. Used by `Full`
+    /// fences (wait for global propagation) and, restricted to ops before
+    /// the latest cumulative fence, as store prerequisites.
+    fn group_a(&self, st: &State, t: usize, upto: usize) -> Vec<usize> {
+        (0..upto)
+            .filter(|&i| st.executed[t] & (1 << i) != 0)
+            .filter_map(|i| st.touched[t][i])
+            .collect()
+    }
+
+    fn step(&mut self, st: &State) {
+        if !self.seen.insert(st.clone()) {
+            return;
+        }
+        let done = (0..self.test.threads.len())
+            .all(|t| st.executed[t].count_ones() as usize == self.test.threads[t].len());
+        if done {
+            // Final memory: the last store per variable in coherence order.
+            let mut mem = vec![0u32; self.num_vars];
+            for s in &st.stores {
+                mem[s.var] = s.val;
+            }
+            self.finals.insert((st.regs.clone(), mem));
+            return;
+        }
+
+        // 1. Execute any eligible op of any thread.
+        for t in 0..self.test.threads.len() {
+            for j in 0..self.test.threads[t].len() {
+                if !self.eligible(st, t, j) {
+                    continue;
+                }
+                match self.test.threads[t][j] {
+                    LOp::Fence(FClass::Full) => {
+                        // On POWER a sync waits until its group-A stores have
+                        // propagated everywhere (cumulativity). Elsewhere the
+                        // condition is vacuous.
+                        let ready = self
+                            .group_a(st, t, j)
+                            .into_iter()
+                            .all(|sid| st.stores[sid].mask == self.all_mask);
+                        if !ready {
+                            continue;
+                        }
+                        let mut next = st.clone();
+                        next.executed[t] |= 1 << j;
+                        self.step(&next);
+                    }
+                    LOp::Fence(_) => {
+                        // Weak markers are ordering annotations only.
+                        let mut next = st.clone();
+                        next.executed[t] |= 1 << j;
+                        self.step(&next);
+                    }
+                    LOp::Load { var, reg, .. } => {
+                        let mut next = st.clone();
+                        next.executed[t] |= 1 << j;
+                        let sid = self.latest_visible(st, t, var);
+                        next.regs[t][reg] = sid.map_or(0, |i| st.stores[i].val);
+                        next.touched[t][j] = sid;
+                        self.step(&next);
+                    }
+                    LOp::Store { var, val, release } => {
+                        let mut next = st.clone();
+                        next.executed[t] |= 1 << j;
+                        // Cumulative barriers: a store after an lwsync/sync
+                        // may propagate to a thread only after everything its
+                        // thread knew before the barrier has. A release store
+                        // (lowered as `lwsync; st` on POWER) is cumulative
+                        // over everything program-before itself.
+                        let prereqs = if self.model.multi_copy_atomic() {
+                            vec![]
+                        } else if release {
+                            self.group_a(st, t, j)
+                        } else {
+                            let barrier = (0..j)
+                                .rev()
+                                .find(|&i| {
+                                    matches!(
+                                        self.test.threads[t][i],
+                                        LOp::Fence(FClass::Full) | LOp::Fence(FClass::LwSync)
+                                    )
+                                });
+                            match barrier {
+                                Some(b) => self.group_a(st, t, b),
+                                None => vec![],
+                            }
+                        };
+                        let mask = if self.model.multi_copy_atomic() {
+                            self.all_mask
+                        } else {
+                            1 << t
+                        };
+                        let sid = next.stores.len();
+                        next.stores.push(StoreRec {
+                            var,
+                            val,
+                            owner: t,
+                            mask,
+                            prereqs,
+                        });
+                        next.touched[t][j] = Some(sid);
+                        self.step(&next);
+                    }
+                }
+            }
+        }
+
+        // 2. Propagate a store to one more thread (non-MCA models only).
+        if !self.model.multi_copy_atomic() {
+            for sid in 0..st.stores.len() {
+                let s = &st.stores[sid];
+                if s.mask == self.all_mask {
+                    continue;
+                }
+                for u in 0..self.test.threads.len() {
+                    if s.mask & (1 << u) != 0 {
+                        continue;
+                    }
+                    let ok = s.prereqs.iter().all(|&p| st.stores[p].mask & (1 << u) != 0);
+                    if !ok {
+                        continue;
+                    }
+                    let mut next = st.clone();
+                    next.stores[sid].mask |= 1 << u;
+                    self.step(&next);
+                }
+            }
+        }
+    }
+}
+
+/// Enumerate all final register states of `test` under `model`.
+pub fn explore(test: &LitmusTest, model: ModelKind) -> OutcomeSet {
+    let nthreads = test.threads.len();
+    assert!(nthreads <= 32, "thread count limited by bitmask width");
+    for t in test.threads.iter() {
+        assert!(t.len() <= 32, "per-thread op count limited by bitmask width");
+    }
+    let regs: Vec<Vec<u32>> = test
+        .threads
+        .iter()
+        .map(|ops| {
+            let n = ops
+                .iter()
+                .filter_map(|o| match o {
+                    LOp::Load { reg, .. } => Some(*reg + 1),
+                    _ => None,
+                })
+                .max()
+                .unwrap_or(0);
+            vec![0; n]
+        })
+        .collect();
+    let init = State {
+        executed: vec![0; nthreads],
+        regs,
+        stores: vec![],
+        touched: test.threads.iter().map(|ops| vec![None; ops.len()]).collect(),
+    };
+    let mut ex = Explorer {
+        test,
+        model,
+        all_mask: (1u32 << nthreads) - 1,
+        num_vars: test.num_vars(),
+        seen: HashSet::new(),
+        finals: HashSet::new(),
+    };
+    ex.step(&init);
+    OutcomeSet {
+        states_visited: ex.seen.len(),
+        finals: ex.finals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::DepKind;
+
+    fn st(var: usize, val: u32) -> LOp {
+        LOp::Store {
+            var,
+            val,
+            release: false,
+        }
+    }
+
+    fn ld(var: usize, reg: usize) -> LOp {
+        LOp::Load {
+            var,
+            reg,
+            acquire: false,
+            dep: None,
+        }
+    }
+
+    #[test]
+    fn single_thread_reads_own_store() {
+        let t = LitmusTest {
+            name: "self".into(),
+            threads: vec![vec![st(0, 1), ld(0, 0)]],
+            interesting: vec![(0, 0, 1)],
+            store_deps: vec![],
+            memory: vec![],
+        };
+        for model in [ModelKind::Sc, ModelKind::Tso, ModelKind::ArmV8, ModelKind::Power] {
+            let out = explore(&t, model);
+            assert_eq!(out.len(), 1, "{model:?}");
+            assert!(out.allows(&t.interesting), "{model:?}");
+        }
+    }
+
+    #[test]
+    fn sb_weak_outcome_per_model() {
+        // SB: both threads store then read the other's variable.
+        let t = LitmusTest {
+            name: "SB".into(),
+            threads: vec![vec![st(0, 1), ld(1, 0)], vec![st(1, 1), ld(0, 0)]],
+            interesting: vec![(0, 0, 0), (1, 0, 0)],
+            store_deps: vec![],
+            memory: vec![],
+        };
+        assert!(!explore(&t, ModelKind::Sc).allows(&t.interesting), "SC forbids SB");
+        assert!(explore(&t, ModelKind::Tso).allows(&t.interesting), "TSO allows SB");
+        assert!(explore(&t, ModelKind::ArmV8).allows(&t.interesting));
+        assert!(explore(&t, ModelKind::Power).allows(&t.interesting));
+    }
+
+    #[test]
+    fn sb_with_full_fences_forbidden_everywhere() {
+        let t = LitmusTest {
+            name: "SB+fences".into(),
+            threads: vec![
+                vec![st(0, 1), LOp::Fence(FClass::Full), ld(1, 0)],
+                vec![st(1, 1), LOp::Fence(FClass::Full), ld(0, 0)],
+            ],
+            interesting: vec![(0, 0, 0), (1, 0, 0)],
+            store_deps: vec![],
+            memory: vec![],
+        };
+        for model in [ModelKind::Sc, ModelKind::Tso, ModelKind::ArmV8, ModelKind::Power] {
+            assert!(
+                !explore(&t, model).allows(&t.interesting),
+                "{model:?} must forbid SB+fences"
+            );
+        }
+    }
+
+    #[test]
+    fn mp_weak_outcome_needs_relaxed_model() {
+        let t = LitmusTest {
+            name: "MP".into(),
+            threads: vec![vec![st(0, 1), st(1, 1)], vec![ld(1, 0), ld(0, 1)]],
+            // Observer sees the flag but not the data.
+            interesting: vec![(1, 0, 1), (1, 1, 0)],
+            store_deps: vec![],
+            memory: vec![],
+        };
+        assert!(!explore(&t, ModelKind::Sc).allows(&t.interesting));
+        assert!(!explore(&t, ModelKind::Tso).allows(&t.interesting));
+        assert!(explore(&t, ModelKind::ArmV8).allows(&t.interesting));
+        assert!(explore(&t, ModelKind::Power).allows(&t.interesting));
+    }
+
+    #[test]
+    fn mp_with_lwsync_and_addr_dep_forbidden_on_power() {
+        let t = LitmusTest {
+            name: "MP+lwsync+addr".into(),
+            threads: vec![
+                vec![st(0, 1), LOp::Fence(FClass::LwSync), st(1, 1)],
+                vec![
+                    ld(1, 0),
+                    LOp::Load {
+                        var: 0,
+                        reg: 1,
+                        acquire: false,
+                        dep: Some((0, DepKind::Addr)),
+                    },
+                ],
+            ],
+            interesting: vec![(1, 0, 1), (1, 1, 0)],
+            store_deps: vec![],
+            memory: vec![],
+        };
+        assert!(!explore(&t, ModelKind::Power).allows(&t.interesting));
+        assert!(!explore(&t, ModelKind::ArmV8).allows(&t.interesting));
+    }
+
+    #[test]
+    fn lwsync_does_not_forbid_sb() {
+        let t = LitmusTest {
+            name: "SB+lwsyncs".into(),
+            threads: vec![
+                vec![st(0, 1), LOp::Fence(FClass::LwSync), ld(1, 0)],
+                vec![st(1, 1), LOp::Fence(FClass::LwSync), ld(0, 0)],
+            ],
+            interesting: vec![(0, 0, 0), (1, 0, 0)],
+            store_deps: vec![],
+            memory: vec![],
+        };
+        assert!(
+            explore(&t, ModelKind::Power).allows(&t.interesting),
+            "lwsync leaves store->load unordered"
+        );
+    }
+
+    #[test]
+    fn iriw_with_addr_deps_power_only() {
+        // Two writers, two readers that disagree about the order of the
+        // writes — the canonical non-multi-copy-atomicity witness.
+        let reader = |first: usize, second: usize| {
+            vec![
+                ld(first, 0),
+                LOp::Load {
+                    var: second,
+                    reg: 1,
+                    acquire: false,
+                    dep: Some((0, DepKind::Addr)),
+                },
+            ]
+        };
+        let t = LitmusTest {
+            name: "IRIW+addrs".into(),
+            threads: vec![
+                vec![st(0, 1)],
+                vec![st(1, 1)],
+                reader(0, 1),
+                reader(1, 0),
+            ],
+            interesting: vec![(2, 0, 1), (2, 1, 0), (3, 0, 1), (3, 1, 0)],
+            store_deps: vec![],
+            memory: vec![],
+        };
+        assert!(
+            explore(&t, ModelKind::Power).allows(&t.interesting),
+            "POWER is non-MCA: IRIW+addrs observable"
+        );
+        assert!(
+            !explore(&t, ModelKind::ArmV8).allows(&t.interesting),
+            "ARMv8 is MCA: IRIW+addrs forbidden"
+        );
+        assert!(!explore(&t, ModelKind::Tso).allows(&t.interesting));
+    }
+
+    #[test]
+    fn iriw_with_syncs_forbidden_on_power() {
+        let reader = |first: usize, second: usize| {
+            vec![ld(first, 0), LOp::Fence(FClass::Full), ld(second, 1)]
+        };
+        let t = LitmusTest {
+            name: "IRIW+syncs".into(),
+            threads: vec![
+                vec![st(0, 1)],
+                vec![st(1, 1)],
+                reader(0, 1),
+                reader(1, 0),
+            ],
+            interesting: vec![(2, 0, 1), (2, 1, 0), (3, 0, 1), (3, 1, 0)],
+            store_deps: vec![],
+            memory: vec![],
+        };
+        assert!(
+            !explore(&t, ModelKind::Power).allows(&t.interesting),
+            "sync restores IRIW order on POWER"
+        );
+    }
+
+    #[test]
+    fn coherence_corr() {
+        // CoRR: reads of the same variable by one thread may not go backwards.
+        let t = LitmusTest {
+            name: "CoRR".into(),
+            threads: vec![vec![st(0, 1)], vec![ld(0, 0), ld(0, 1)]],
+            interesting: vec![(1, 0, 1), (1, 1, 0)],
+            store_deps: vec![],
+            memory: vec![],
+        };
+        for model in [ModelKind::Sc, ModelKind::Tso, ModelKind::ArmV8, ModelKind::Power] {
+            assert!(
+                !explore(&t, model).allows(&t.interesting),
+                "{model:?} must preserve per-location coherence"
+            );
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! The multicore machine: interleaves per-core execution in global time
+//! order through the shared memory system.
+
+use crate::arch::ArchSpec;
+use crate::exec::CoreState;
+use crate::isa::Instr;
+use crate::mem::MemSys;
+use crate::rng::SplitMix64;
+use crate::stats::{Counters, ExecStats};
+
+/// A multithreaded program: one instruction stream per simulated thread.
+/// Threads beyond the machine's core count are rejected — the platforms and
+/// workload generators handle scheduling decisions above this layer.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// One instruction stream per thread.
+    pub threads: Vec<Vec<Instr>>,
+}
+
+impl Program {
+    /// Build a program from per-thread instruction streams.
+    pub fn new(threads: Vec<Vec<Instr>>) -> Self {
+        assert!(!threads.is_empty(), "program needs at least one thread");
+        Program { threads }
+    }
+
+    /// Total instruction count across threads.
+    pub fn len(&self) -> usize {
+        self.threads.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Workload-level execution context: locality and pipeline-pressure
+/// characteristics that belong to the *application*, not the machine.
+///
+/// These are the knobs through which the synthetic workloads reproduce the
+/// paper's observed micro/macro divergences (see `wmm-workloads`).
+#[derive(Debug, Clone)]
+pub struct WorkloadCtx {
+    /// Descriptive name (propagated into reports).
+    pub name: String,
+    /// Mispredict probability of `Mispredict::Workload` branches — the
+    /// branch-predictor pressure of the surrounding application. The paper
+    /// speculates exactly this effect for the kernel `ctrl` strategy (§4.3.1).
+    pub bp_pressure: f64,
+    /// Load-queue pressure observed by `dmb ishld` at fence sites (0..1):
+    /// lmbench-style syscall-dense code keeps the load queue hot; most
+    /// macrobenchmarks do not.
+    pub load_pressure: f64,
+    /// L1 miss rate of private/read-only data.
+    pub l1_miss_rate: f64,
+    /// Fraction of those misses that go all the way to DRAM.
+    pub dram_frac: f64,
+    /// Per-run multiplicative noise amplitude (scheduling, SMT, frequency):
+    /// the workload "stability" of the paper. Applied once per run.
+    pub noise_amp: f64,
+}
+
+impl Default for WorkloadCtx {
+    fn default() -> Self {
+        WorkloadCtx {
+            name: "default".to_string(),
+            bp_pressure: 0.05,
+            load_pressure: 0.15,
+            l1_miss_rate: 0.02,
+            dram_frac: 0.1,
+            noise_amp: 0.0,
+        }
+    }
+}
+
+/// A simulated multicore machine.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    spec: ArchSpec,
+}
+
+impl Machine {
+    /// Build a machine from an architecture spec.
+    pub fn new(spec: ArchSpec) -> Self {
+        Machine { spec }
+    }
+
+    /// The architecture spec this machine models.
+    pub fn spec(&self) -> &ArchSpec {
+        &self.spec
+    }
+
+    /// Execute `program` to completion and return timing statistics.
+    ///
+    /// Deterministic: the same `(program, ctx, seed)` triple always produces
+    /// identical results. Different seeds vary the stochastic components
+    /// (cache misses on private data, branch mispredicts, run-level noise) —
+    /// one seed corresponds to one of the paper's benchmark samples.
+    pub fn run(&self, program: &Program, ctx: &WorkloadCtx, seed: u64) -> ExecStats {
+        assert!(
+            program.threads.len() <= self.spec.cores * self.spec.smt as usize,
+            "program has {} threads but machine exposes {} hardware contexts",
+            program.threads.len(),
+            self.spec.cores * self.spec.smt as usize
+        );
+        let mut root = SplitMix64::new(seed ^ 0x5DEE_CE66_D1CE_5EED);
+        // Run-level noise factor: models scheduling/SMT/frequency jitter that
+        // shifts a whole sample, the dominant term in unstable benchmarks.
+        let run_noise = root.jitter(ctx.noise_amp);
+        // SMT contention: when more threads run than physical cores, or the
+        // machine time-slices SMT contexts, cores interfere. POWER7's 4-way
+        // SMT adds extra jitter even for modest thread counts.
+        let smt_noise = if self.spec.smt > 1 {
+            root.jitter(ctx.noise_amp * 0.5)
+        } else {
+            1.0
+        };
+
+        let mut mem = MemSys::new();
+        let mut counters = Counters::default();
+        let mut cores: Vec<CoreState> = (0..program.threads.len())
+            .map(|id| CoreState::new(id, &self.spec))
+            .collect();
+        let mut rngs: Vec<SplitMix64> = (0..program.threads.len())
+            .map(|_| root.split())
+            .collect();
+        // Stagger thread start times slightly, as a real scheduler would.
+        for (i, core) in cores.iter_mut().enumerate() {
+            core.clock = (i as f64) * 20.0 + rngs[i].next_f64() * 10.0;
+        }
+
+        // Interleave: always step the core with the smallest local clock so
+        // cross-core coherence interactions happen in global time order.
+        let mut live: Vec<usize> = (0..cores.len())
+            .filter(|&i| !program.threads[i].is_empty())
+            .collect();
+        while !live.is_empty() {
+            let (slot, &idx) = live
+                .iter()
+                .enumerate()
+                .min_by(|(_, &a), (_, &b)| {
+                    cores[a]
+                        .clock
+                        .partial_cmp(&cores[b].clock)
+                        .expect("clocks are finite")
+                })
+                .expect("live is non-empty");
+            let core = &mut cores[idx];
+            let instr = &program.threads[idx][core.pc];
+            core.step(instr, &self.spec, ctx, &mut mem, &mut rngs[idx], &mut counters);
+            core.pc += 1;
+            if core.pc >= program.threads[idx].len() {
+                live.swap_remove(slot);
+            }
+        }
+
+        let mut sb_stall_cycles = 0.0;
+        let mut sb_stalls = 0;
+        for core in &cores {
+            sb_stall_cycles += core.sbuf.stall_cycles;
+            sb_stalls += core.sbuf.stalls;
+        }
+        let max_cycles = cores
+            .iter()
+            .map(|c| c.clock)
+            .fold(0.0_f64, f64::max);
+        ExecStats {
+            wall_ns: self.spec.ns(max_cycles) * run_noise * smt_noise,
+            core_cycles: cores.iter().map(|c| c.clock).collect(),
+            counters,
+            sb_stall_cycles,
+            sb_stalls,
+        }
+    }
+
+    /// Convenience micro-harness: time a tight loop of `n` repetitions of
+    /// `body` on a single core, returning mean nanoseconds per repetition.
+    ///
+    /// This is the "basic microbenchmarking" of §4.2.1 (e.g. measuring
+    /// `sync` at 18.9 ns and `lwsync` at 6.1 ns) — and it demonstrates the
+    /// limits the paper highlights: run it on `dmb ish` vs `dmb ishst` and
+    /// you will see no difference, because the machine is otherwise idle.
+    pub fn time_sequence_ns(&self, body: &[Instr], n: usize, seed: u64) -> f64 {
+        let mut stream = Vec::with_capacity(body.len() * n);
+        for _ in 0..n {
+            stream.extend_from_slice(body);
+        }
+        let ctx = WorkloadCtx {
+            name: "micro".to_string(),
+            bp_pressure: 0.0,
+            load_pressure: 0.0,
+            l1_miss_rate: 0.0,
+            dram_frac: 0.0,
+            noise_amp: 0.0,
+        };
+        let stats = self.run(&Program::new(vec![stream]), &ctx, seed);
+        stats.wall_ns / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{armv8_xgene1, power7};
+    use crate::isa::{AccessOrd, FenceKind, Loc};
+
+    fn store(line: u64) -> Instr {
+        Instr::Store {
+            loc: Loc::SharedRw(line),
+            ord: AccessOrd::Plain,
+        }
+    }
+
+    fn load(line: u64) -> Instr {
+        Instr::Load {
+            loc: Loc::SharedRw(line),
+            ord: AccessOrd::Plain,
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let m = Machine::new(armv8_xgene1());
+        let prog = Program::new(vec![
+            vec![store(1), Instr::Fence(FenceKind::DmbIsh), load(2)],
+            vec![store(2), Instr::Fence(FenceKind::DmbIsh), load(1)],
+        ]);
+        let ctx = WorkloadCtx::default();
+        let a = m.run(&prog, &ctx, 99);
+        let b = m.run(&prog, &ctx, 99);
+        assert_eq!(a.wall_ns, b.wall_ns);
+        assert_eq!(a.core_cycles, b.core_cycles);
+    }
+
+    #[test]
+    fn different_seeds_vary_with_noise() {
+        let m = Machine::new(armv8_xgene1());
+        let prog = Program::new(vec![vec![load(1); 100]]);
+        let ctx = WorkloadCtx {
+            l1_miss_rate: 0.3,
+            noise_amp: 0.02,
+            ..WorkloadCtx::default()
+        };
+        let a = m.run(&prog, &ctx, 1);
+        let b = m.run(&prog, &ctx, 2);
+        assert_ne!(a.wall_ns, b.wall_ns);
+    }
+
+    #[test]
+    fn rejects_too_many_threads() {
+        let m = Machine::new(armv8_xgene1()); // 8 cores, no SMT
+        let threads = vec![vec![Instr::Nop]; 9];
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.run(&Program::new(threads), &WorkloadCtx::default(), 0)
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn power7_smt_accepts_many_threads() {
+        let m = Machine::new(power7()); // 12 cores x 4 SMT
+        let threads = vec![vec![Instr::Nop]; 16];
+        let stats = m.run(&Program::new(threads), &WorkloadCtx::default(), 0);
+        assert_eq!(stats.core_cycles.len(), 16);
+    }
+
+    #[test]
+    fn micro_timing_of_power_fences_matches_paper() {
+        // §4.2.1: "Basic microbenchmarking of sync and lwsync determines
+        // their execution times to be 6.1ns and 18.9ns respectively."
+        let m = Machine::new(power7());
+        let lw = m.time_sequence_ns(&[Instr::Fence(FenceKind::LwSync)], 2000, 1);
+        let hw = m.time_sequence_ns(&[Instr::Fence(FenceKind::HwSync)], 2000, 1);
+        assert!((lw - 6.1).abs() < 0.5, "lwsync micro {lw} ns");
+        assert!((hw - 18.9).abs() < 1.0, "sync micro {hw} ns");
+    }
+
+    #[test]
+    fn micro_timing_cannot_distinguish_dmb_variants() {
+        let m = Machine::new(armv8_xgene1());
+        let ish = m.time_sequence_ns(&[Instr::Fence(FenceKind::DmbIsh)], 2000, 1);
+        let ishst = m.time_sequence_ns(&[Instr::Fence(FenceKind::DmbIshSt)], 2000, 1);
+        let ishld = m.time_sequence_ns(&[Instr::Fence(FenceKind::DmbIshLd)], 2000, 1);
+        assert!((ish - ishst).abs() / ish < 0.05, "{ish} vs {ishst}");
+        assert!((ish - ishld).abs() / ish < 0.05, "{ish} vs {ishld}");
+    }
+
+    #[test]
+    fn contended_line_slower_than_private() {
+        let m = Machine::new(armv8_xgene1());
+        let ctx = WorkloadCtx::default();
+        // Paced ping-pong keeps both threads concurrently active so the
+        // line genuinely bounces between caches.
+        let paced = |line: u64, tid: u64| -> Vec<Instr> {
+            (0..150)
+                .flat_map(|i| {
+                    vec![
+                        Instr::Compute { cycles: 40 },
+                        if (i + tid).is_multiple_of(2) {
+                            store(line)
+                        } else {
+                            load(line)
+                        },
+                    ]
+                })
+                .collect()
+        };
+        let contended = Program::new(vec![paced(7, 0), paced(7, 1)]);
+        let disjoint = Program::new(vec![paced(8, 0), paced(9, 1)]);
+        let c = m.run(&contended, &ctx, 3);
+        let d = m.run(&disjoint, &ctx, 3);
+        assert!(
+            c.wall_ns > d.wall_ns,
+            "contention should cost: {} vs {}",
+            c.wall_ns,
+            d.wall_ns
+        );
+        assert!(c.counters.coherence_transfers > d.counters.coherence_transfers);
+    }
+
+    #[test]
+    fn wall_time_is_max_core_time() {
+        let m = Machine::new(armv8_xgene1());
+        let prog = Program::new(vec![
+            vec![Instr::Compute { cycles: 10_000 }],
+            vec![Instr::Compute { cycles: 10 }],
+        ]);
+        let stats = m.run(&prog, &WorkloadCtx::default(), 0);
+        let max_c = stats.core_cycles.iter().cloned().fold(0.0, f64::max);
+        assert!((stats.wall_ns - m.spec().ns(max_c)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn program_len_counts_all_threads() {
+        let p = Program::new(vec![vec![Instr::Nop; 3], vec![Instr::Nop; 2]]);
+        assert_eq!(p.len(), 5);
+        assert!(!p.is_empty());
+    }
+}

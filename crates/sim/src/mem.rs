@@ -1,0 +1,270 @@
+//! The shared memory system: a coherence directory over read-write shared
+//! lines plus a probabilistic locality model for private and read-only data.
+//!
+//! Read-write shared lines ([`crate::isa::Loc::SharedRw`]) are tracked
+//! exactly: the directory knows which core owns a line dirty and which cores
+//! hold clean copies, so cross-core communication (the thing fencing
+//! strategies exist to order) pays real transfer and invalidation latencies
+//! that depend on the interleaving.
+//!
+//! Private and read-only lines do not generate coherence traffic; their hit
+//! rates are a property of the *workload* (its working-set size and access
+//! pattern), so they are sampled from the workload context's miss rates with
+//! the run's seeded RNG.
+
+use std::collections::HashMap;
+
+use crate::arch::ArchSpec;
+use crate::isa::Loc;
+use crate::rng::SplitMix64;
+
+/// Sharing state of one read-write line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum LineState {
+    /// Dirty in exactly one core's cache.
+    Modified(usize),
+    /// Clean copies in the given cores (bitmask over core ids).
+    Shared(u64),
+}
+
+/// Outcome of a memory access, for statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// Served from the local L1.
+    L1Hit,
+    /// Served from the shared last-level cache.
+    LlcHit,
+    /// Served from DRAM.
+    Dram,
+    /// Required a dirty-line transfer from another core.
+    CoherenceTransfer,
+}
+
+/// The memory system shared by all cores of a [`crate::machine::Machine`].
+#[derive(Debug)]
+pub struct MemSys {
+    directory: HashMap<u64, LineState>,
+    /// Lines ever touched (first touch comes from DRAM, later from LLC).
+    warmed: HashMap<u64, ()>,
+}
+
+/// Key used to disambiguate the address spaces of the three [`Loc`] classes
+/// (and, for private lines, of each core).
+pub fn line_key(core: usize, loc: Loc) -> u64 {
+    match loc {
+        // Private lines are per-core: fold the core id into the key.
+        Loc::Private(l) => 0x1000_0000_0000_0000 | ((core as u64) << 48) | l,
+        Loc::SharedRo(l) => 0x2000_0000_0000_0000 | l,
+        Loc::SharedRw(l) => 0x3000_0000_0000_0000 | l,
+    }
+}
+
+impl MemSys {
+    /// A cold memory system.
+    pub fn new() -> Self {
+        MemSys {
+            directory: HashMap::new(),
+            warmed: HashMap::new(),
+        }
+    }
+
+    /// Cycle cost and classification of a **load** by `core` from `loc`.
+    ///
+    /// `miss_rate`/`dram_frac` describe the workload's locality for
+    /// non-coherent data; `rng` supplies the seeded randomness.
+    pub fn load(
+        &mut self,
+        core: usize,
+        loc: Loc,
+        spec: &ArchSpec,
+        miss_rate: f64,
+        dram_frac: f64,
+        rng: &mut SplitMix64,
+    ) -> (f64, AccessOutcome) {
+        match loc {
+            Loc::Private(_) | Loc::SharedRo(_) => {
+                if rng.chance(miss_rate) {
+                    if rng.chance(dram_frac) {
+                        (spec.dram, AccessOutcome::Dram)
+                    } else {
+                        (spec.llc_hit, AccessOutcome::LlcHit)
+                    }
+                } else {
+                    (spec.l1_hit, AccessOutcome::L1Hit)
+                }
+            }
+            Loc::SharedRw(_) => {
+                let key = line_key(core, loc);
+                let first_touch = self.warmed.insert(key, ()).is_none();
+                match self.directory.get_mut(&key) {
+                    Some(LineState::Modified(owner)) => {
+                        if *owner == core {
+                            (spec.l1_hit, AccessOutcome::L1Hit)
+                        } else {
+                            // Dirty remote: transfer, both end up sharing.
+                            let prev = *owner;
+                            self.directory.insert(
+                                key,
+                                LineState::Shared((1 << prev) | (1 << core)),
+                            );
+                            (spec.coherence_transfer, AccessOutcome::CoherenceTransfer)
+                        }
+                    }
+                    Some(LineState::Shared(mask)) => {
+                        if *mask & (1 << core) != 0 {
+                            (spec.l1_hit, AccessOutcome::L1Hit)
+                        } else {
+                            *mask |= 1 << core;
+                            (spec.llc_hit, AccessOutcome::LlcHit)
+                        }
+                    }
+                    None => {
+                        self.directory.insert(key, LineState::Shared(1 << core));
+                        if first_touch {
+                            (spec.dram, AccessOutcome::Dram)
+                        } else {
+                            (spec.llc_hit, AccessOutcome::LlcHit)
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Cycle cost of **draining a store** by `core` to `loc` out of the store
+    /// buffer (the store itself retires into the buffer for free; this is
+    /// the background cost the buffer model charges).
+    pub fn store_drain(&mut self, core: usize, loc: Loc, spec: &ArchSpec) -> f64 {
+        match loc {
+            Loc::Private(_) => spec.sb_drain_local,
+            // Writing read-only-classified data is allowed but behaves like
+            // shared-rw for the drain (e.g. lazy init of interned data).
+            Loc::SharedRo(_) | Loc::SharedRw(_) => {
+                let key = line_key(core, loc);
+                self.warmed.insert(key, ());
+                match self.directory.insert(key, LineState::Modified(core)) {
+                    Some(LineState::Modified(owner)) if owner == core => spec.sb_drain_local,
+                    Some(LineState::Shared(mask)) if mask == (1 << core) => {
+                        // Sole sharer upgrading to exclusive: cheap.
+                        spec.sb_drain_local
+                    }
+                    Some(_) => spec.sb_drain_remote + spec.invalidate,
+                    None => spec.sb_drain_remote,
+                }
+            }
+        }
+    }
+
+    /// Cycle cost for `core` to gain exclusive ownership for an atomic
+    /// read-modify-write.
+    pub fn rmw(&mut self, core: usize, loc: Loc, spec: &ArchSpec) -> (f64, AccessOutcome) {
+        let key = line_key(core, loc);
+        self.warmed.insert(key, ());
+        match self.directory.insert(key, LineState::Modified(core)) {
+            Some(LineState::Modified(owner)) if owner == core => {
+                (spec.l1_hit, AccessOutcome::L1Hit)
+            }
+            Some(_) => (
+                spec.coherence_transfer,
+                AccessOutcome::CoherenceTransfer,
+            ),
+            None => (spec.llc_hit, AccessOutcome::LlcHit),
+        }
+    }
+}
+
+impl Default for MemSys {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::armv8_xgene1;
+
+    fn rng() -> SplitMix64 {
+        SplitMix64::new(1)
+    }
+
+    #[test]
+    fn private_load_hits_l1_when_miss_rate_zero() {
+        let spec = armv8_xgene1();
+        let mut m = MemSys::new();
+        let (c, o) = m.load(0, Loc::Private(1), &spec, 0.0, 0.0, &mut rng());
+        assert_eq!(o, AccessOutcome::L1Hit);
+        assert_eq!(c, spec.l1_hit);
+    }
+
+    #[test]
+    fn cold_shared_load_comes_from_dram() {
+        let spec = armv8_xgene1();
+        let mut m = MemSys::new();
+        let (c, o) = m.load(0, Loc::SharedRw(5), &spec, 0.0, 0.0, &mut rng());
+        assert_eq!(o, AccessOutcome::Dram);
+        assert_eq!(c, spec.dram);
+        // Second load from the same core now hits.
+        let (c2, o2) = m.load(0, Loc::SharedRw(5), &spec, 0.0, 0.0, &mut rng());
+        assert_eq!(o2, AccessOutcome::L1Hit);
+        assert_eq!(c2, spec.l1_hit);
+    }
+
+    #[test]
+    fn dirty_remote_load_transfers() {
+        let spec = armv8_xgene1();
+        let mut m = MemSys::new();
+        // Core 0 writes the line (drain makes it Modified(0)).
+        m.store_drain(0, Loc::SharedRw(9), &spec);
+        // Core 1 reading pays a coherence transfer.
+        let (c, o) = m.load(1, Loc::SharedRw(9), &spec, 0.0, 0.0, &mut rng());
+        assert_eq!(o, AccessOutcome::CoherenceTransfer);
+        assert_eq!(c, spec.coherence_transfer);
+        // Both now share it: core 0 reads hit.
+        let (_, o0) = m.load(0, Loc::SharedRw(9), &spec, 0.0, 0.0, &mut rng());
+        assert_eq!(o0, AccessOutcome::L1Hit);
+    }
+
+    #[test]
+    fn store_to_owned_line_is_cheap() {
+        let spec = armv8_xgene1();
+        let mut m = MemSys::new();
+        let first = m.store_drain(0, Loc::SharedRw(3), &spec);
+        let second = m.store_drain(0, Loc::SharedRw(3), &spec);
+        assert!(first > second, "first {first} second {second}");
+        assert_eq!(second, spec.sb_drain_local);
+    }
+
+    #[test]
+    fn store_to_shared_line_invalidates() {
+        let spec = armv8_xgene1();
+        let mut m = MemSys::new();
+        m.load(0, Loc::SharedRw(4), &spec, 0.0, 0.0, &mut rng());
+        m.load(1, Loc::SharedRw(4), &spec, 0.0, 0.0, &mut rng());
+        // Core 1 stores: other copies must die.
+        let c = m.store_drain(1, Loc::SharedRw(4), &spec);
+        assert_eq!(c, spec.sb_drain_remote + spec.invalidate);
+    }
+
+    #[test]
+    fn rmw_ping_pong_costs_transfers() {
+        let spec = armv8_xgene1();
+        let mut m = MemSys::new();
+        let (a, _) = m.rmw(0, Loc::SharedRw(7), &spec);
+        let (b, ob) = m.rmw(1, Loc::SharedRw(7), &spec);
+        let (c, oc) = m.rmw(0, Loc::SharedRw(7), &spec);
+        assert!(a <= b && b == c);
+        assert_eq!(ob, AccessOutcome::CoherenceTransfer);
+        assert_eq!(oc, AccessOutcome::CoherenceTransfer);
+        // Repeated rmw by the same core is cheap.
+        let (d, od) = m.rmw(0, Loc::SharedRw(7), &spec);
+        assert_eq!(od, AccessOutcome::L1Hit);
+        assert!(d < c);
+    }
+
+    #[test]
+    fn private_lines_are_per_core() {
+        assert_ne!(line_key(0, Loc::Private(1)), line_key(1, Loc::Private(1)));
+        assert_eq!(line_key(0, Loc::SharedRw(1)), line_key(5, Loc::SharedRw(1)));
+    }
+}

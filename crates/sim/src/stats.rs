@@ -1,0 +1,138 @@
+//! Execution statistics collected by a simulation run.
+
+use std::collections::HashMap;
+
+use crate::isa::FenceKind;
+use crate::mem::AccessOutcome;
+
+/// Raw event counters, shared by all cores of a run.
+#[derive(Debug, Default, Clone)]
+pub struct Counters {
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+    /// Atomic read-modify-writes executed.
+    pub atomics: u64,
+    /// Failed reservation retries inside atomics.
+    pub cas_retries: u64,
+    /// Load-acquires.
+    pub acquires: u64,
+    /// Store-releases.
+    pub releases: u64,
+    /// Branch mispredictions.
+    pub mispredicts: u64,
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// LLC hits.
+    pub llc_hits: u64,
+    /// DRAM accesses.
+    pub dram_accesses: u64,
+    /// Dirty-line transfers between cores.
+    pub coherence_transfers: u64,
+    /// Cost-function invocations.
+    pub cost_loop_invocations: u64,
+    /// Total cost-function loop iterations.
+    pub cost_loop_iters: u64,
+    /// Fence executions by kind.
+    pub fence_counts: HashMap<FenceKind, u64>,
+    /// Cycles spent stalled in fences, by kind.
+    pub fence_cycles: HashMap<FenceKind, f64>,
+}
+
+impl Counters {
+    /// Record a memory-access outcome.
+    pub fn record_access(&mut self, outcome: AccessOutcome) {
+        match outcome {
+            AccessOutcome::L1Hit => self.l1_hits += 1,
+            AccessOutcome::LlcHit => self.llc_hits += 1,
+            AccessOutcome::Dram => self.dram_accesses += 1,
+            AccessOutcome::CoherenceTransfer => self.coherence_transfers += 1,
+        }
+    }
+
+    /// Record a fence execution.
+    pub fn record_fence(&mut self, kind: FenceKind) {
+        *self.fence_counts.entry(kind).or_insert(0) += 1;
+    }
+
+    /// Record cycles spent in a fence.
+    pub fn record_fence_cycles(&mut self, kind: FenceKind, cycles: f64) {
+        *self.fence_cycles.entry(kind).or_insert(0.0) += cycles;
+    }
+}
+
+/// Result of one full program execution.
+#[derive(Debug, Clone)]
+pub struct ExecStats {
+    /// Wall-clock time: the slowest core's finish time, in nanoseconds.
+    pub wall_ns: f64,
+    /// Per-core finish times, cycles.
+    pub core_cycles: Vec<f64>,
+    /// Event counters.
+    pub counters: Counters,
+    /// Cycles lost to store-buffer capacity stalls, summed over cores.
+    pub sb_stall_cycles: f64,
+    /// Number of store-buffer capacity stalls.
+    pub sb_stalls: u64,
+}
+
+impl ExecStats {
+    /// Number of fences of `kind` executed.
+    pub fn fences(&self, kind: FenceKind) -> u64 {
+        self.counters.fence_counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Total cycles spent stalled in fences of `kind`.
+    pub fn fence_stall_cycles(&self, kind: FenceKind) -> f64 {
+        self.counters.fence_cycles.get(&kind).copied().unwrap_or(0.0)
+    }
+
+    /// Mean cycles per fence of `kind`, if any executed.
+    pub fn mean_fence_cycles(&self, kind: FenceKind) -> Option<f64> {
+        let n = self.fences(kind);
+        if n == 0 {
+            None
+        } else {
+            Some(self.fence_stall_cycles(kind) / n as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fence_accounting() {
+        let mut c = Counters::default();
+        c.record_fence(FenceKind::DmbIsh);
+        c.record_fence(FenceKind::DmbIsh);
+        c.record_fence_cycles(FenceKind::DmbIsh, 10.0);
+        c.record_fence_cycles(FenceKind::DmbIsh, 14.0);
+        let stats = ExecStats {
+            wall_ns: 1.0,
+            core_cycles: vec![],
+            counters: c,
+            sb_stall_cycles: 0.0,
+            sb_stalls: 0,
+        };
+        assert_eq!(stats.fences(FenceKind::DmbIsh), 2);
+        assert_eq!(stats.mean_fence_cycles(FenceKind::DmbIsh), Some(12.0));
+        assert_eq!(stats.fences(FenceKind::Isb), 0);
+        assert_eq!(stats.mean_fence_cycles(FenceKind::Isb), None);
+    }
+
+    #[test]
+    fn access_outcomes_tallied() {
+        let mut c = Counters::default();
+        c.record_access(AccessOutcome::L1Hit);
+        c.record_access(AccessOutcome::L1Hit);
+        c.record_access(AccessOutcome::Dram);
+        c.record_access(AccessOutcome::CoherenceTransfer);
+        assert_eq!(c.l1_hits, 2);
+        assert_eq!(c.dram_accesses, 1);
+        assert_eq!(c.coherence_transfers, 1);
+        assert_eq!(c.llc_hits, 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Special functions needed by the t-distribution: log-gamma and the
+//! regularised incomplete beta function.
+//!
+//! Implementations follow the classic Lanczos approximation for `ln Γ` and the
+//! Lentz continued-fraction evaluation of the incomplete beta function. Both
+//! are accurate to well beyond the needs of 95% confidence intervals on six
+//! samples.
+
+/// Natural log of the gamma function, `ln Γ(x)`, for `x > 0`.
+///
+/// Uses the Lanczos approximation (g = 7, n = 9 coefficients), accurate to
+/// around 1e-13 over the domain used here (half-integer degrees of freedom).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    // Lanczos coefficients for g = 7.
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula keeps accuracy for small x.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Regularised incomplete beta function `I_x(a, b)` for `a, b > 0` and
+/// `x ∈ [0, 1]`.
+///
+/// Evaluated with the Lentz modified continued fraction; uses the symmetry
+/// `I_x(a,b) = 1 - I_{1-x}(b,a)` to stay in the rapidly-converging region.
+pub fn beta_inc(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "beta_inc requires a,b > 0");
+    assert!((0.0..=1.0).contains(&x), "beta_inc requires x in [0,1]");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    // Prefactor x^a (1-x)^b / (a B(a,b)).
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        ln_front.exp() * beta_cf(a, b, x) / a
+    } else {
+        1.0 - ln_front.exp() * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Continued-fraction core of the incomplete beta function (Numerical
+/// Recipes `betacf`, Lentz's method).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 3.0e-16;
+    const FPMIN: f64 = 1.0e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + b.abs())
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)!
+        let facts = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0];
+        for (i, f) in facts.iter().enumerate() {
+            let n = (i + 1) as f64;
+            assert!(
+                close(ln_gamma(n), f64::ln(*f), 1e-12),
+                "ln_gamma({n}) = {} want {}",
+                ln_gamma(n),
+                f64::ln(*f)
+            );
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = sqrt(pi)
+        assert!(close(
+            ln_gamma(0.5),
+            0.5 * std::f64::consts::PI.ln(),
+            1e-12
+        ));
+        // Γ(3/2) = sqrt(pi)/2
+        assert!(close(
+            ln_gamma(1.5),
+            0.5 * std::f64::consts::PI.ln() - std::f64::consts::LN_2,
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn beta_inc_boundaries() {
+        assert_eq!(beta_inc(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(beta_inc(2.0, 3.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn beta_inc_symmetry() {
+        for &(a, b, x) in &[(2.0, 3.0, 0.3), (0.5, 0.5, 0.7), (5.0, 1.5, 0.11)] {
+            let lhs = beta_inc(a, b, x);
+            let rhs = 1.0 - beta_inc(b, a, 1.0 - x);
+            assert!(close(lhs, rhs, 1e-12), "symmetry failed at {a},{b},{x}");
+        }
+    }
+
+    #[test]
+    fn beta_inc_uniform_case() {
+        // I_x(1,1) = x (uniform CDF).
+        for x in [0.1, 0.25, 0.5, 0.9] {
+            assert!(close(beta_inc(1.0, 1.0, x), x, 1e-12));
+        }
+    }
+
+    #[test]
+    fn beta_inc_known_value() {
+        // I_{0.5}(2,2) = 0.5 by symmetry of Beta(2,2).
+        assert!(close(beta_inc(2.0, 2.0, 0.5), 0.5, 1e-12));
+    }
+}

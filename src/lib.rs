@@ -1,0 +1,27 @@
+//! # wmm — umbrella crate
+//!
+//! Re-exports the full `wmmbench` workspace, the Rust reproduction of
+//! *Benchmarking Weak Memory Models* (Ritson & Owens, PPoPP 2016).
+//!
+//! The individual crates are:
+//!
+//! * [`wmm_stats`] — curve fitting, Student-t intervals, summary statistics.
+//! * [`wmm_sim`] — deterministic timing simulator of weak-memory multicores.
+//! * [`wmm_litmus`] — operational semantics explorer and litmus suite.
+//! * [`wmmbench`] — the paper's methodology: cost functions, injection,
+//!   sensitivity modelling, cost estimation and rankings.
+//! * [`wmm_jvm`] — Hotspot-like platform (elemental barriers, JDK8/9
+//!   fencing strategies).
+//! * [`wmm_kernel`] — Linux-kernel-like platform (barrier macros,
+//!   `read_barrier_depends` strategies).
+//! * [`wmm_workloads`] — DaCapo-, Spark- and kernel-suite-like workloads.
+//! * [`wmm_bench`] — experiment drivers regenerating every paper artefact.
+
+pub use wmm_bench;
+pub use wmm_jvm;
+pub use wmm_kernel;
+pub use wmm_litmus;
+pub use wmm_sim;
+pub use wmm_stats;
+pub use wmm_workloads;
+pub use wmmbench;

@@ -1,0 +1,81 @@
+//! Semantic validation: the litmus suite holds under all models, and the
+//! fence vocabulary the timing simulator prices agrees with the semantic
+//! classes the explorer enforces.
+
+use wmm::wmm_litmus::ops::FClass;
+use wmm::wmm_litmus::suite::{full_suite, run_full_suite};
+use wmm::wmm_litmus::{explore, ModelKind};
+use wmm::wmm_sim::isa::FenceKind;
+
+#[test]
+fn full_suite_expectations_hold() {
+    let rows = run_full_suite();
+    assert!(rows.len() >= 50, "suite too small: {}", rows.len());
+    let failures: Vec<_> = rows.iter().filter(|(_, _, e, o)| e != o).collect();
+    assert!(failures.is_empty(), "violations: {failures:?}");
+}
+
+#[test]
+fn sc_never_shows_any_weak_outcome() {
+    for entry in full_suite() {
+        let out = explore(&entry.test, ModelKind::Sc);
+        // If the suite marks SC as forbidding, verify; and regardless, any
+        // outcome SC allows must also be reachable on every weaker model.
+        for weaker in [ModelKind::Tso, ModelKind::ArmV8, ModelKind::Power] {
+            let weak = explore(&entry.test, weaker);
+            for f in &out.finals {
+                assert!(
+                    weak.finals.contains(f),
+                    "{}: SC outcome {f:?} missing under {weaker:?} — models must be monotone",
+                    entry.test.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn tso_is_between_sc_and_armv8() {
+    for entry in full_suite() {
+        let tso = explore(&entry.test, ModelKind::Tso);
+        let arm = explore(&entry.test, ModelKind::ArmV8);
+        for f in &tso.finals {
+            assert!(
+                arm.finals.contains(f),
+                "{}: TSO outcome {f:?} not reachable on ARMv8",
+                entry.test.name
+            );
+        }
+    }
+}
+
+#[test]
+fn fence_kinds_map_to_the_classes_the_explorer_enforces() {
+    // The timing model prices these instructions; the explorer defines what
+    // they mean. The mapping must stay total over hardware fences.
+    assert_eq!(FClass::of_fence(FenceKind::DmbIsh), Some(FClass::Full));
+    assert_eq!(FClass::of_fence(FenceKind::HwSync), Some(FClass::Full));
+    assert_eq!(FClass::of_fence(FenceKind::LwSync), Some(FClass::LwSync));
+    assert_eq!(FClass::of_fence(FenceKind::DmbIshSt), Some(FClass::StSt));
+    assert_eq!(FClass::of_fence(FenceKind::DmbIshLd), Some(FClass::LdLdSt));
+    // Compiler barriers and isb have no standalone ordering class.
+    assert_eq!(FClass::of_fence(FenceKind::Compiler), None);
+    assert_eq!(FClass::of_fence(FenceKind::Isb), None);
+}
+
+#[test]
+fn exploration_visits_reasonable_state_counts() {
+    // Sanity on the memoisation: SB under SC is tiny; IRIW under POWER is
+    // the largest shape but still bounded.
+    let sb = wmm::wmm_litmus::suite::store_buffering();
+    let small = explore(&sb.test, ModelKind::Sc);
+    assert!(small.states_visited < 200, "{}", small.states_visited);
+    let iriw = wmm::wmm_litmus::suite::iriw_addrs();
+    let big = explore(&iriw.test, ModelKind::Power);
+    assert!(
+        big.states_visited < 2_000_000,
+        "IRIW/POWER exploded: {}",
+        big.states_visited
+    );
+    assert!(big.states_visited > small.states_visited);
+}

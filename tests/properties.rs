@@ -1,0 +1,181 @@
+//! Cross-crate property-based tests (proptest) on the invariants the
+//! methodology relies on.
+
+use proptest::prelude::*;
+
+use wmm::wmm_sim::arch::{armv8_xgene1, power7};
+use wmm::wmm_sim::isa::{pad_to, seq_size, AccessOrd, FenceKind, Instr, Loc};
+use wmm::wmm_sim::machine::WorkloadCtx;
+use wmm::wmm_sim::{Machine, Program, SplitMix64};
+use wmm::wmm_stats::{confidence_interval, t_quantile, Summary};
+use wmm::wmmbench::model::{estimate_cost, fit_sensitivity, predicted_performance};
+
+// ---------------------------------------------------------------------------
+// Model algebra
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Eq. 2 inverts Eq. 1 for every plausible (k, a).
+    #[test]
+    fn eq1_eq2_roundtrip(k in 1e-5f64..0.5, a in 1.0f64..20_000.0) {
+        let p = predicted_performance(k, a);
+        let back = estimate_cost(k, p);
+        prop_assert!((back - a).abs() / a < 1e-6, "k={k} a={a} back={back}");
+    }
+
+    /// p(1) = 1, p is monotonically decreasing in a, and stays positive.
+    #[test]
+    fn model_shape(k in 1e-5f64..0.5) {
+        prop_assert!((predicted_performance(k, 1.0) - 1.0).abs() < 1e-12);
+        let mut prev = f64::INFINITY;
+        for e in 0..16 {
+            let p = predicted_performance(k, (1u64 << e) as f64);
+            prop_assert!(p > 0.0 && p <= prev + 1e-15);
+            prev = p;
+        }
+    }
+
+    /// The fit recovers k from noiseless model data for any k in the
+    /// paper's observed range.
+    #[test]
+    fn fit_recovers_k(k in 1e-4f64..0.05) {
+        let samples: Vec<(f64, f64)> = (0..12)
+            .map(|e| {
+                let a = (1u64 << e) as f64;
+                (a, predicted_performance(k, a))
+            })
+            .collect();
+        let fit = fit_sensitivity(&samples).expect("fit");
+        prop_assert!((fit.k - k).abs() / k < 1e-4, "k={k} got {}", fit.k);
+    }
+
+    /// With bounded multiplicative noise the estimate stays within a band.
+    #[test]
+    fn fit_robust_to_noise(k in 1e-3f64..0.02, seed in 0u64..1000) {
+        let mut rng = SplitMix64::new(seed);
+        let samples: Vec<(f64, f64)> = (0..12)
+            .map(|e| {
+                let a = (1u64 << e) as f64;
+                (a, predicted_performance(k, a) * rng.jitter(0.01))
+            })
+            .collect();
+        let fit = fit_sensitivity(&samples).expect("fit");
+        prop_assert!((fit.k - k).abs() / k < 0.5, "k={k} got {}", fit.k);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Statistics
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// AM–GM inequality and min/max envelope for any positive sample set.
+    #[test]
+    fn summary_invariants(samples in prop::collection::vec(0.1f64..1e6, 1..40)) {
+        let s = Summary::of(&samples);
+        prop_assert!(s.gmean <= s.mean * (1.0 + 1e-12));
+        prop_assert!(s.min <= s.gmean + 1e-9 && s.gmean <= s.max + 1e-9);
+        prop_assert!(s.variance >= 0.0);
+    }
+
+    /// t-quantiles are monotone in confidence and decrease with df.
+    #[test]
+    fn t_quantile_monotonicity(df in 1usize..60) {
+        let q90 = t_quantile(0.90, df);
+        let q95 = t_quantile(0.95, df);
+        let q99 = t_quantile(0.99, df);
+        prop_assert!(q90 < q95 && q95 < q99);
+        if df > 1 {
+            prop_assert!(t_quantile(0.95, df) < t_quantile(0.95, df - 1) + 1e-9);
+        }
+    }
+
+    /// The 95% CI contains the sample mean and widens with confidence.
+    #[test]
+    fn ci_contains_mean(samples in prop::collection::vec(1.0f64..100.0, 2..20)) {
+        let ci95 = confidence_interval(&samples, 0.95);
+        let ci99 = confidence_interval(&samples, 0.99);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        prop_assert!(ci95.contains(mean));
+        prop_assert!(ci99.half_width >= ci95.half_width);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Simulator
+// ---------------------------------------------------------------------------
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        Just(Instr::Nop),
+        Just(Instr::Alu),
+        (0u64..8).prop_map(|l| Instr::Load { loc: Loc::SharedRw(l), ord: AccessOrd::Plain }),
+        (0u64..8).prop_map(|l| Instr::Store { loc: Loc::SharedRw(l), ord: AccessOrd::Plain }),
+        (0u64..8).prop_map(|l| Instr::Load { loc: Loc::Private(l), ord: AccessOrd::Plain }),
+        Just(Instr::Fence(FenceKind::DmbIsh)),
+        Just(Instr::Fence(FenceKind::DmbIshSt)),
+        Just(Instr::Fence(FenceKind::DmbIshLd)),
+        (1u32..200).prop_map(|c| Instr::Compute { cycles: c }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The simulator is deterministic: identical (program, ctx, seed) give
+    /// identical wall times, for arbitrary programs.
+    #[test]
+    fn simulation_deterministic(
+        body in prop::collection::vec(arb_instr(), 1..60),
+        threads in 1usize..4,
+        seed in 0u64..500,
+    ) {
+        let machine = Machine::new(armv8_xgene1());
+        let prog = Program::new(vec![body; threads]);
+        let ctx = WorkloadCtx::default();
+        let a = machine.run(&prog, &ctx, seed);
+        let b = machine.run(&prog, &ctx, seed);
+        prop_assert_eq!(a.wall_ns, b.wall_ns);
+        prop_assert_eq!(a.core_cycles, b.core_cycles);
+    }
+
+    /// Time advances: every program takes positive time, and appending an
+    /// instruction never makes a single-threaded program faster.
+    #[test]
+    fn time_is_monotone_in_program_length(
+        body in prop::collection::vec(arb_instr(), 1..40),
+        extra in arb_instr(),
+    ) {
+        let machine = Machine::new(power7());
+        let ctx = WorkloadCtx {
+            l1_miss_rate: 0.0,
+            dram_frac: 0.0,
+            noise_amp: 0.0,
+            ..WorkloadCtx::default()
+        };
+        let t1 = machine.run(&Program::new(vec![body.clone()]), &ctx, 7).wall_ns;
+        let mut longer = body;
+        longer.push(extra);
+        let t2 = machine.run(&Program::new(vec![longer]), &ctx, 7).wall_ns;
+        prop_assert!(t1 > 0.0);
+        prop_assert!(t2 >= t1 - 1e-9, "t1={t1} t2={t2}");
+    }
+
+    /// Padding preserves measured size for any sequence and target.
+    #[test]
+    fn pad_to_exact(n in 0usize..12, target_extra in 0u64..8) {
+        let seq = vec![Instr::Alu; n];
+        let target = seq_size(&seq) + target_extra;
+        let padded = pad_to(seq, target);
+        prop_assert_eq!(seq_size(&padded), target);
+    }
+
+    /// SplitMix64 chance() respects probability bounds statistically.
+    #[test]
+    fn rng_chance_bounds(seed in 0u64..5000) {
+        let mut rng = SplitMix64::new(seed);
+        let hits = (0..400).filter(|_| rng.chance(0.25)).count();
+        // Loose 6-sigma band around 100.
+        prop_assert!((40..180).contains(&hits), "hits={hits}");
+    }
+}

@@ -1,0 +1,80 @@
+//! The size-invariance property on *real* workload images: every strategy
+//! and injection variant of a linked program occupies exactly the same
+//! number of instruction words (§4.1/§4.3 of the paper — the point of the
+//! nop-padded base case and the binary rewriting).
+
+use wmm::wmm_bench::{jvm_envelope, kernel_envelope};
+use wmm::wmm_jvm::jit::JitConfig;
+use wmm::wmm_jvm::strategy::{arm_jdk8_barriers, arm_storestore_as_full};
+use wmm::wmm_kernel::rbd::{rbd_strategy, RbdStrategy};
+use wmm::wmm_sim::arch::Arch;
+use wmm::wmm_workloads::dacapo::{profile, DacapoBench};
+use wmm::wmm_workloads::kernel::{kernel_profile, KernelBench};
+use wmm::wmmbench::costfn::CostFunction;
+use wmm::wmmbench::image::{program_words, Injection, SiteRewriter};
+use wmm::wmmbench::runner::BenchSpec;
+
+#[test]
+fn jvm_images_are_size_invariant_across_strategies_and_injection() {
+    let bench = DacapoBench::new(
+        profile("spark").unwrap(),
+        JitConfig::jdk8(Arch::ArmV8),
+        0.2,
+    );
+    let image = bench.image(11);
+    let env = jvm_envelope(Arch::ArmV8);
+    let base = arm_jdk8_barriers();
+    let modified = arm_storestore_as_full();
+    let cf = CostFunction {
+        iters: 1 << 7,
+        stack_spill: false,
+    };
+    let programs = [
+        SiteRewriter::new(&base, Injection::None, env.clone()).link(&image),
+        SiteRewriter::new(&modified, Injection::None, env.clone()).link(&image),
+        SiteRewriter::new(&base, Injection::All(cf), env.clone()).link(&image),
+    ];
+    let sz = program_words(&programs[0]);
+    assert!(sz > 1000, "image should be non-trivial: {sz} words");
+    for p in &programs[1..] {
+        assert_eq!(program_words(p), sz);
+    }
+}
+
+#[test]
+fn kernel_images_are_size_invariant_across_all_six_rbd_strategies() {
+    let bench = KernelBench::new(kernel_profile("netperf_udp").unwrap(), 0.2);
+    let image = bench.image(3);
+    let env = kernel_envelope();
+    let mut sizes = vec![];
+    for s in RbdStrategy::ALL {
+        let strat = rbd_strategy(s);
+        let rw = SiteRewriter::new(&strat, Injection::None, env.clone());
+        sizes.push(program_words(&rw.link(&image)));
+    }
+    assert!(sizes.iter().all(|&s| s == sizes[0]), "sizes {sizes:?}");
+}
+
+#[test]
+fn injected_cost_size_does_not_change_code_size() {
+    // The whole point of Fig. 2/3's `mov N` encoding: the loop count is an
+    // immediate, so sweeping the cost size never perturbs layout.
+    let bench = KernelBench::new(kernel_profile("lmbench").unwrap(), 0.2);
+    let image = bench.image(5);
+    let env = kernel_envelope();
+    let strat = rbd_strategy(RbdStrategy::BaseCase);
+    let mut sizes = vec![];
+    for e in [0u32, 4, 8, 12] {
+        let cf = CostFunction {
+            iters: 1 << e,
+            stack_spill: true,
+        };
+        let rw = SiteRewriter::new(
+            &strat,
+            Injection::At(wmm::wmm_kernel::macros::KMacro::ReadBarrierDepends, cf),
+            env.clone(),
+        );
+        sizes.push(program_words(&rw.link(&image)));
+    }
+    assert!(sizes.iter().all(|&s| s == sizes[0]), "sizes {sizes:?}");
+}
