@@ -16,7 +16,10 @@ fn bench_fit(c: &mut Criterion) {
     let samples: Vec<(f64, f64)> = (0..12)
         .map(|e| {
             let a = (1u64 << e) as f64;
-            (a, predicted_performance(k, a) * (1.0 + 0.002 * (e as f64).sin()))
+            (
+                a,
+                predicted_performance(k, a) * (1.0 + 0.002 * (e as f64).sin()),
+            )
         })
         .collect();
     c.bench_function("fit_sensitivity_12pts", |b| {

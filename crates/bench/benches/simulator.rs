@@ -82,5 +82,10 @@ fn bench_contention(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_machine_run, bench_fence_micro, bench_contention);
+criterion_group!(
+    benches,
+    bench_machine_run,
+    bench_fence_micro,
+    bench_contention
+);
 criterion_main!(benches);

@@ -12,11 +12,7 @@ fn main() {
     println!("Fig. 1 — example sensitivity fit (h2, ARM, all barriers)");
     println!("paper example: k = 0.00277 ±2.5%");
     match &result.fit {
-        Some(f) => println!(
-            "measured:      {} (R² = {:.4})",
-            f.display(),
-            f.r_squared
-        ),
+        Some(f) => println!("measured:      {} (R² = {:.4})", f.display(), f.r_squared),
         None => println!("measured:      fit did not converge"),
     }
     println!();

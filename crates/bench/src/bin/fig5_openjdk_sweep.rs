@@ -1,8 +1,14 @@
 //! Fig. 5: OpenJDK — impact of increasing cost-function size when injected
 //! into all memory barriers, for the eight concurrent-DaCapo/spark
 //! benchmarks on both architectures, with fitted sensitivities.
+//!
+//! Runs through the wmm-harness parallel executor (`--threads N`,
+//! `--cache`, `--progress`) and writes a schema-versioned run manifest to
+//! `results/runs/fig5_openjdk_sweep.json` for the `bench_gate` regression
+//! gate. Output is bit-identical regardless of worker count.
 
-use wmm_bench::{cli_config, fig5_openjdk_sweeps, results_dir};
+use wmm_bench::{cli_config, cli_executor, fig5_openjdk_sweeps_with, results_dir, runs_dir};
+use wmm_harness::RunManifest;
 use wmm_sim::arch::Arch;
 use wmmbench::report::Table;
 
@@ -19,11 +25,27 @@ const PAPER: [(&str, f64, f64); 8] = [
 
 fn main() {
     let cfg = cli_config();
+    let exec = cli_executor();
     println!("Fig. 5 — OpenJDK all-barrier sensitivity sweeps");
-    let mut table = Table::new(&["benchmark", "arch", "k", "k_err_pct", "k_paper", "stability"]);
-    let mut csv = Table::new(&["benchmark", "arch", "cost_ns", "rel_perf", "rel_min", "rel_max"]);
+    let mut table = Table::new(&[
+        "benchmark",
+        "arch",
+        "k",
+        "k_err_pct",
+        "k_paper",
+        "stability",
+    ]);
+    let mut csv = Table::new(&[
+        "benchmark",
+        "arch",
+        "cost_ns",
+        "rel_perf",
+        "rel_min",
+        "rel_max",
+    ]);
+    let mut manifest = RunManifest::new("fig5_openjdk_sweep", "arm+power");
     for arch in [Arch::ArmV8, Arch::Power7] {
-        for s in fig5_openjdk_sweeps(arch, cfg) {
+        for s in fig5_openjdk_sweeps_with(arch, cfg, &exec) {
             let paper = PAPER
                 .iter()
                 .find(|(n, _, _)| *n == s.benchmark)
@@ -42,6 +64,9 @@ fn main() {
                 format!("{paper:.5}"),
                 format!("{:.3}", s.mean_error_width()),
             ]);
+            if let Some(fit) = &s.fit {
+                manifest.push_fit(format!("{}/{}", s.benchmark, arch.label()), fit);
+            }
             for p in &s.points {
                 csv.row(vec![
                     s.benchmark.clone(),
@@ -51,6 +76,10 @@ fn main() {
                     format!("{:.5}", p.rel_min),
                     format!("{:.5}", p.rel_max),
                 ]);
+                manifest.push_cell(
+                    format!("{}/{}/a={:.2}", s.benchmark, arch.label(), p.actual_ns),
+                    p.rel_perf,
+                );
             }
         }
     }
@@ -60,4 +89,9 @@ fn main() {
     let path = results_dir().join("fig5_openjdk.csv");
     csv.write_csv(&path).expect("write csv");
     println!("wrote {}", path.display());
+
+    manifest.telemetry = Some(exec.telemetry());
+    let manifest_path = manifest.write(runs_dir()).expect("write manifest");
+    println!("wrote {}", manifest_path.display());
+    println!("[wmm-harness] {}", exec.summary());
 }

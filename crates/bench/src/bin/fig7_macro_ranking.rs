@@ -2,17 +2,30 @@
 //! memory-model macro (1024-iteration cost function injected into each macro
 //! in turn). Lower sum = bigger impact. The paper finds `smp_mb`,
 //! `read_once` and `read_barrier_depends` have the most impact.
+//!
+//! Runs through the wmm-harness parallel executor (`--threads N`,
+//! `--cache`, `--progress`) and writes a run manifest to
+//! `results/runs/fig7_macro_ranking.json` for the `bench_gate` regression
+//! gate. Output is bit-identical regardless of worker count.
 
-use wmm_bench::{cli_config, linux_ranking, results_dir};
+use wmm_bench::{cli_config, cli_executor, linux_ranking_with, results_dir, runs_dir};
+use wmm_harness::RunManifest;
 use wmmbench::report::Table;
 
 fn main() {
     let cfg = cli_config();
-    let m = linux_ranking(cfg);
+    let exec = cli_executor();
+    let m = linux_ranking_with(cfg, &exec);
     println!(
         "Fig. 7 — Linux macro impact ranking ({} data points)",
         m.data_points()
     );
+    let mut manifest = RunManifest::new("fig7_macro_ranking", "arm");
+    for (pi, mac) in m.paths.iter().enumerate() {
+        for (bi, bench) in m.benchmarks.iter().enumerate() {
+            manifest.push_cell(format!("{}/{bench}", mac.name()), m.rel_perf[pi][bi]);
+        }
+    }
     let mut t = Table::new(&["macro", "sum_rel_perf"]);
     for (mac, sum) in m.by_path_impact() {
         println!("  {:<24} {sum:6.2}", mac.name());
@@ -24,4 +37,9 @@ fn main() {
     let path = results_dir().join("fig7_macro_ranking.csv");
     t.write_csv(&path).expect("write csv");
     println!("wrote {}", path.display());
+
+    manifest.telemetry = Some(exec.telemetry());
+    let manifest_path = manifest.write(runs_dir()).expect("write manifest");
+    println!("wrote {}", manifest_path.display());
+    println!("[wmm-harness] {}", exec.summary());
 }

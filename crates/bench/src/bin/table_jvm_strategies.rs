@@ -34,8 +34,7 @@ fn main() {
     println!("-- nop injection into every elemental barrier --");
     for arch in [Arch::ArmV8, Arch::Power7] {
         let rows = jvm_nop_overhead(arch, cfg);
-        let mean =
-            rows.iter().map(|r| r.cmp.percent_change()).sum::<f64>() / rows.len() as f64;
+        let mean = rows.iter().map(|r| r.cmp.percent_change()).sum::<f64>() / rows.len() as f64;
         let worst = rows
             .iter()
             .min_by(|a, b| a.cmp.ratio.partial_cmp(&b.cmp.ratio).unwrap())
@@ -73,7 +72,11 @@ fn main() {
         );
         out.row(vec![
             format!("StoreStore {}", arch.label()),
-            format!("{:+.1}%, a = {:.1} ns", cmp.percent_change(), a.unwrap_or(f64::NAN)),
+            format!(
+                "{:+.1}%, a = {:.1} ns",
+                cmp.percent_change(),
+                a.unwrap_or(f64::NAN)
+            ),
             paper.into(),
         ]);
     }
@@ -81,7 +84,11 @@ fn main() {
 
     println!("-- JDK9 ld.acq/st.rel vs JDK8 barriers (ARM) --");
     for d in lasr_vs_barriers(cfg) {
-        let sig = if d.cmp.significant() { "" } else { " (not significant)" };
+        let sig = if d.cmp.significant() {
+            ""
+        } else {
+            " (not significant)"
+        };
         println!("  {:<11} {:+.1}%{sig}", d.bench, d.cmp.percent_change());
     }
     println!("  (paper: xalan +2.9, sunflow +3.0, h2 -0.3, spark -0.5, tomcat -1.7, rest n.s.;");
@@ -93,7 +100,11 @@ fn main() {
         out.row(vec![
             format!("locking patch ({mode})"),
             format!("{:+.1}%", cmp.percent_change()),
-            if mode == "la/sr" { "+2.9%".into() } else { "-1%".into() },
+            if mode == "la/sr" {
+                "+2.9%".into()
+            } else {
+                "-1%".into()
+            },
         ]);
     }
     println!("  (paper: +2.9% with la/sr, -1% with barriers)");

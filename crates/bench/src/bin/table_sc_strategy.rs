@@ -15,7 +15,10 @@ fn main() {
     let mut t = Table::new(&["benchmark", "rel_perf_pct"]);
     for d in &rows {
         println!("  {:<16} {:+.1}%", d.bench, d.cmp.percent_change());
-        t.row(vec![d.bench.clone(), format!("{:+.2}", d.cmp.percent_change())]);
+        t.row(vec![
+            d.bench.clone(),
+            format!("{:+.2}", d.cmp.percent_change()),
+        ]);
     }
     let mean: f64 = rows.iter().map(|r| r.cmp.percent_change()).sum::<f64>() / rows.len() as f64;
     let worst = rows

@@ -1,24 +1,20 @@
-//! Calibration harness: prints measured sensitivities next to the paper's
-//! published values, for tuning workload profiles. Not a paper artefact —
+//! Calibration harness: prints measured values next to the paper's
+//! published numbers, for tuning workload profiles. Not a paper artefact —
 //! use the `fig*` binaries for those.
+//!
+//! Modes (positional argument):
+//!
+//! - `sweeps` (default): the Fig. 5/6/9 sensitivity fits.
+//! - `intext`: the §4.2.1/§4.3.1 in-text experiments and Fig. 7/8/10 shapes.
+//! - `all`: both.
+//!
+//! `--full` switches from the reduced tuning protocol to the paper's full
+//! sampling protocol.
 
-use wmm_bench::{fig5_openjdk_sweeps, fig6_spark_elementals, fig9_rbd_sweeps, ExpConfig};
+use wmm_bench::*;
 use wmm_sim::arch::Arch;
 
-fn main() {
-    let cfg = if std::env::args().any(|a| a == "--full") {
-        ExpConfig::full()
-    } else {
-        ExpConfig {
-            scale: 0.5,
-            run: wmmbench::runner::RunConfig {
-                samples: 4,
-                warmups: 1,
-                base_seed: 0x1CEB00DA,
-            },
-        }
-    };
-
+fn sweeps(cfg: ExpConfig) {
     let paper_fig5 = [
         ("h2", 0.00339, 0.00251),
         ("lusearch", 0.00213, 0.00118),
@@ -94,6 +90,128 @@ fn main() {
                 f.relative_error() * 100.0
             ),
             None => println!("  {:<12} fit failed (paper {:.5})", s.benchmark, paper),
+        }
+    }
+}
+
+fn intext(cfg: ExpConfig) {
+    println!("== fence microbenchmarks ==");
+    for (l, ns) in fence_microbenchmarks() {
+        println!("  {l:<14} {ns:6.1} ns");
+    }
+
+    println!("== StoreStore experiments (spark) ==");
+    for arch in [Arch::ArmV8, Arch::Power7] {
+        let (cmp, k, a) = storestore_experiment(arch, cfg);
+        println!(
+            "  {}: rel perf {:.5} ({:+.1}%)  k={:.5}  a={:.1} ns   (paper: arm -0.7%/1.8ns, power -12.5%/11.7ns)",
+            arch.label(),
+            cmp.ratio,
+            cmp.percent_change(),
+            k,
+            a.unwrap_or(f64::NAN)
+        );
+    }
+
+    println!("== nop overhead (JVM) ==");
+    for arch in [Arch::ArmV8, Arch::Power7] {
+        let rows = jvm_nop_overhead(arch, cfg);
+        let mean: f64 =
+            rows.iter().map(|r| r.cmp.percent_change()).sum::<f64>() / rows.len() as f64;
+        let worst = rows
+            .iter()
+            .min_by(|a, b| a.cmp.ratio.partial_cmp(&b.cmp.ratio).unwrap())
+            .unwrap();
+        println!(
+            "  {}: mean {:+.1}% worst {} {:+.1}%   (paper: arm mean -1.9% peak h2 -4.5%; power mean -0.7%)",
+            arch.label(),
+            mean,
+            worst.bench,
+            worst.cmp.percent_change()
+        );
+    }
+
+    println!("== la/sr vs barriers (ARM) ==");
+    for d in lasr_vs_barriers(cfg) {
+        println!("  {:<11} {:+.1}%", d.bench, d.cmp.percent_change());
+    }
+    println!("  (paper: xalan +2.9 sunflow +3.0 h2 -0.3 spark -0.5 tomcat -1.7, rest ~0)");
+
+    println!("== locking patch (spark, ARM) ==");
+    for (mode, cmp) in locking_patch_experiment(cfg) {
+        println!(
+            "  {mode:<9} {:+.1}%   (paper: la/sr +2.9%, barriers -1%)",
+            cmp.percent_change()
+        );
+    }
+
+    println!("== kernel nop overhead ==");
+    let rows = kernel_nop_overhead(cfg);
+    let mean: f64 = rows.iter().map(|r| r.cmp.percent_change()).sum::<f64>() / rows.len() as f64;
+    for d in &rows {
+        println!("  {:<14} {:+.1}%", d.bench, d.cmp.percent_change());
+    }
+    println!("  mean {mean:+.1}%   (paper: mean -1.9%, worst netperf -6.6%)");
+
+    println!("== Fig 10: rbd strategies (rel perf %) ==");
+    for (s, deltas) in fig10_rbd_strategies(cfg) {
+        print!("  {:<10}", s.label());
+        for d in &deltas {
+            print!(" {}:{:+.1}%", d.bench, d.cmp.percent_change());
+        }
+        println!();
+    }
+
+    println!("== rbd cost estimates (a, ns) ==");
+    println!("  paper: ctrl 4.6/10.1  ctrl+isb 24.5/24.5  ishld 10.7/1.8  ish 11.0/10.7  la-sr 21.7/15.9");
+    for (s, a_lm, a_others) in rbd_cost_estimates(cfg) {
+        println!(
+            "  {:<10} lmbench {a_lm:6.1}  others {a_others:6.1}",
+            s.label()
+        );
+    }
+
+    println!("== Fig 7/8 rankings ==");
+    let m = linux_ranking(cfg);
+    println!("  data points: {}", m.data_points());
+    println!("  by macro impact (worst first):");
+    for (mac, sum) in m.by_path_impact().iter().take(5) {
+        println!("    {:<22} {sum:.2}", mac.name());
+    }
+    println!("  by benchmark sensitivity (most first):");
+    for (b, sum) in m.by_benchmark_sensitivity() {
+        println!("    {b:<14} {sum:.2}");
+    }
+}
+
+fn main() {
+    let cfg = if cli_flag("--full") {
+        ExpConfig::full()
+    } else {
+        ExpConfig {
+            scale: 0.5,
+            run: wmmbench::runner::RunConfig {
+                samples: 4,
+                warmups: 1,
+                base_seed: 0x1CEB00DA,
+            },
+        }
+    };
+
+    let mode = std::env::args()
+        .nth(1)
+        .filter(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| "sweeps".to_string());
+    match mode.as_str() {
+        "sweeps" => sweeps(cfg),
+        "intext" => intext(cfg),
+        "all" => {
+            sweeps(cfg);
+            intext(cfg);
+        }
+        other => {
+            eprintln!("unknown mode `{other}`; expected sweeps|intext|all");
+            std::process::exit(2);
         }
     }
 }

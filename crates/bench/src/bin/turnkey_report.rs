@@ -2,22 +2,28 @@
 //! (machine, benchmark, strategy) triple and runs the complete methodology:
 //! calibrate, discover code paths, sweep each, fit, classify usability, and
 //! rank — "potentially yielding a turnkey evaluation system".
+//!
+//! Runs through the wmm-harness parallel executor (`--threads N`,
+//! `--cache`, `--progress`) and writes a run manifest to
+//! `results/runs/turnkey_netperf_udp.json` alongside the JSON report.
 
-use wmm_bench::{cli_config, machine, results_dir};
+use wmm_bench::{cli_config, cli_executor, machine, results_dir, runs_dir};
+use wmm_harness::RunManifest;
 use wmm_kernel::macros::default_arm_strategy;
 use wmm_sim::arch::Arch;
 use wmm_workloads::kernel::{kernel_profile, KernelBench};
 use wmmbench::report::write_json;
-use wmmbench::turnkey::{evaluate, Usability};
+use wmmbench::turnkey::{evaluate_with, Usability};
 
 fn main() {
     let cfg = cli_config();
+    let exec = cli_executor();
     let m = machine(Arch::ArmV8);
     let strategy = default_arm_strategy();
     let bench = KernelBench::new(kernel_profile("netperf_udp").expect("exists"), cfg.scale);
 
     println!("Turnkey evaluation: netperf_udp on the default ARMv8 kernel strategy\n");
-    let report = evaluate(
+    let report = evaluate_with(
         &m,
         &bench,
         &strategy,
@@ -25,11 +31,13 @@ fn main() {
         9,
         Usability::default(),
         cfg.run,
+        &exec,
     );
     println!(
         "{:<24} {:>10} {:>12} {:>12} {:>8}",
         "code path", "sites", "k", "instability", "usable"
     );
+    let mut manifest = RunManifest::new("turnkey_netperf_udp", "arm");
     for p in &report.paths {
         let k = p.fit.as_ref().map(|f| f.k).unwrap_or(f64::NAN);
         println!(
@@ -40,6 +48,10 @@ fn main() {
             p.instability,
             if p.usable { "yes" } else { "no" }
         );
+        if let Some(fit) = &p.fit {
+            manifest.push_fit(&p.path, fit);
+        }
+        manifest.push_cell(format!("{}/instability", p.path), p.instability);
     }
     if let Some(hot) = report.hottest_usable() {
         println!(
@@ -50,4 +62,9 @@ fn main() {
     let path = results_dir().join("turnkey_netperf_udp.json");
     write_json(&path, &report).expect("write json");
     println!("wrote {}", path.display());
+
+    manifest.telemetry = Some(exec.telemetry());
+    let manifest_path = manifest.write(runs_dir()).expect("write manifest");
+    println!("wrote {}", manifest_path.display());
+    println!("[wmm-harness] {}", exec.summary());
 }

@@ -15,14 +15,15 @@ use wmm_sim::arch::{armv8_xgene1, power7, Arch};
 use wmm_sim::isa::{FenceKind, Instr};
 use wmm_sim::Machine;
 use wmm_stats::Comparison;
-use wmmbench::costfn::{Calibration, CostFunction};
-use wmmbench::image::{compute_envelope, Injection, SiteRewriter};
-use wmmbench::ranking::{ranking_matrix, RankingMatrix};
-use wmmbench::runner::{measure, measure_relative, BenchSpec, RunConfig};
-use wmmbench::sensitivity::{pow2_targets, sweep, SweepResult, SweepTarget};
-use wmmbench::strategy::FencingStrategy;
 use wmm_workloads::dacapo::{dacapo_suite, profile, DacapoBench};
 use wmm_workloads::kernel::{kernel_profile, kernel_suite, lmbench_subs, KernelBench};
+use wmmbench::costfn::{Calibration, CostFunction};
+use wmmbench::exec::{Executor, SerialExecutor};
+use wmmbench::image::{compute_envelope, Injection, SiteRewriter};
+use wmmbench::ranking::{ranking_matrix_with, RankingMatrix};
+use wmmbench::runner::{measure, measure_relative, BenchSpec, RunConfig};
+use wmmbench::sensitivity::{pow2_targets, sweep, sweep_with, SweepResult, SweepTarget};
+use wmmbench::strategy::FencingStrategy;
 
 /// Global experiment configuration: workload scale and sampling protocol.
 #[derive(Debug, Clone, Copy)]
@@ -73,12 +74,56 @@ pub fn cli_config() -> ExpConfig {
     cfg
 }
 
+/// Worker-thread request from the command line (`--threads N`), if any.
+/// `None` defers to `WMM_THREADS` / available parallelism (see
+/// `wmm_harness::resolve_threads`).
+pub fn cli_threads() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+}
+
+/// Whether a bare flag (e.g. `--cache`) was passed on the command line.
+pub fn cli_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
 /// The `results/` directory (created if needed).
 pub fn results_dir() -> std::path::PathBuf {
-    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../../results");
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
     std::fs::create_dir_all(&dir).expect("create results dir");
     dir
+}
+
+/// The `results/runs/` directory where campaign manifests are written.
+pub fn runs_dir() -> std::path::PathBuf {
+    results_dir().join("runs")
+}
+
+/// The harness executor configured from the command line: `--threads N`
+/// overrides the worker count (else `WMM_THREADS`, else available
+/// parallelism), `--progress` enables ETA lines on stderr, and `--cache`
+/// persists simulation results under `results/cache/` so a rerun skips
+/// already-simulated cells. Without `--cache` an in-memory cache still
+/// deduplicates within the process.
+pub fn cli_executor() -> wmm_harness::ParallelExecutor {
+    let exec =
+        wmm_harness::ParallelExecutor::new(cli_threads()).with_progress(cli_flag("--progress"));
+    let cache = if cli_flag("--cache") {
+        let path = results_dir().join("cache").join("sim.cache");
+        match wmm_harness::SimCache::with_disk(&path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("warning: disk cache unavailable ({e}); using in-memory cache");
+                wmm_harness::SimCache::in_memory()
+            }
+        }
+    } else {
+        wmm_harness::SimCache::in_memory()
+    };
+    exec.with_cache(cache)
 }
 
 /// The machine for an architecture.
@@ -125,8 +170,10 @@ pub fn jvm_envelope(arch: Arch) -> HashMap<Combined, u64> {
 pub fn kernel_envelope() -> HashMap<KMacro, u64> {
     let paths: Vec<KMacro> = KMacro::ALL.to_vec();
     let strategies: Vec<_> = RbdStrategy::ALL.iter().map(|s| rbd_strategy(*s)).collect();
-    let refs: Vec<&dyn FencingStrategy<KMacro>> =
-        strategies.iter().map(|s| s as &dyn FencingStrategy<KMacro>).collect();
+    let refs: Vec<&dyn FencingStrategy<KMacro>> = strategies
+        .iter()
+        .map(|s| s as &dyn FencingStrategy<KMacro>)
+        .collect();
     let extra = CostFunction {
         iters: 1,
         stack_spill: true,
@@ -181,6 +228,16 @@ pub fn fig4_costfn_calibration() -> Vec<(&'static str, Calibration)> {
 /// Fig. 5: cost-function sweep injected into *all* memory barriers, for the
 /// eight benchmarks on one architecture.
 pub fn fig5_openjdk_sweeps(arch: Arch, cfg: ExpConfig) -> Vec<SweepResult> {
+    fig5_openjdk_sweeps_with(arch, cfg, &SerialExecutor)
+}
+
+/// [`fig5_openjdk_sweeps`] through an explicit executor (the wmm-harness
+/// seam): each benchmark's sweep is one batch of independent simulations.
+pub fn fig5_openjdk_sweeps_with(
+    arch: Arch,
+    cfg: ExpConfig,
+    exec: &dyn Executor,
+) -> Vec<SweepResult> {
     let m = machine(arch);
     let strategy = jvm_base_strategy(arch);
     let cal = Calibration::measure(&m, jvm_costfn_spill(arch), 12);
@@ -188,7 +245,7 @@ pub fn fig5_openjdk_sweeps(arch: Arch, cfg: ExpConfig) -> Vec<SweepResult> {
     dacapo_suite(JitConfig::jdk8(arch), cfg.scale)
         .iter()
         .map(|bench| {
-            sweep(
+            sweep_with(
                 &m,
                 bench,
                 &strategy,
@@ -197,6 +254,7 @@ pub fn fig5_openjdk_sweeps(arch: Arch, cfg: ExpConfig) -> Vec<SweepResult> {
                 &pow2_targets(0, 8),
                 env.clone(),
                 cfg.run,
+                exec,
             )
         })
         .collect()
@@ -253,11 +311,7 @@ pub fn jvm_nop_overhead(arch: Arch, cfg: ExpConfig) -> Vec<StrategyDelta> {
     let strategy = jvm_base_strategy(arch);
     // Unmodified: envelope with no padding room. Padded: the standard one.
     let paths = all_site_combinations();
-    let tight = compute_envelope(
-        &paths,
-        &[&strategy as &dyn FencingStrategy<Combined>],
-        0,
-    );
+    let tight = compute_envelope(&paths, &[&strategy as &dyn FencingStrategy<Combined>], 0);
     let padded = jvm_envelope(arch);
     let base_rw = SiteRewriter::new(&strategy, Injection::None, tight);
     let pad_rw = SiteRewriter::new(&strategy, Injection::None, padded);
@@ -393,6 +447,13 @@ pub fn locking_patch_experiment(cfg: ExpConfig) -> Vec<(String, Comparison)> {
 /// Figs. 7 and 8: the (macro × benchmark) ranking matrix with a fixed
 /// 1024-iteration cost function.
 pub fn linux_ranking(cfg: ExpConfig) -> RankingMatrix<KMacro> {
+    linux_ranking_with(cfg, &SerialExecutor)
+}
+
+/// [`linux_ranking`] through an explicit executor (the wmm-harness seam):
+/// the entire (macro × benchmark) matrix is one batch of independent
+/// simulations.
+pub fn linux_ranking_with(cfg: ExpConfig, exec: &dyn Executor) -> RankingMatrix<KMacro> {
     let m = machine(Arch::ArmV8);
     let strategy = default_arm_strategy();
     let suite = kernel_suite(cfg.scale);
@@ -402,7 +463,7 @@ pub fn linux_ranking(cfg: ExpConfig) -> RankingMatrix<KMacro> {
         iters: 1024,
         stack_spill: true,
     };
-    ranking_matrix(
+    ranking_matrix_with(
         &m,
         &benches,
         &strategy,
@@ -410,6 +471,7 @@ pub fn linux_ranking(cfg: ExpConfig) -> RankingMatrix<KMacro> {
         cf,
         kernel_envelope(),
         cfg.run,
+        exec,
     )
 }
 
@@ -441,25 +503,29 @@ pub fn fig9_rbd_sweeps(cfg: ExpConfig) -> Vec<SweepResult> {
     let strategy = default_arm_strategy();
     let cal = Calibration::measure(&m, true, 12);
     let env = kernel_envelope();
-    ["ebizzy", "xalan", "netperf_udp", "osm_stack", "lmbench", "netperf_tcp"]
-        .iter()
-        .map(|name| {
-            let bench = KernelBench::new(
-                kernel_profile(name).expect("profile exists"),
-                cfg.scale,
-            );
-            sweep(
-                &m,
-                &bench,
-                &strategy,
-                SweepTarget::Path(KMacro::ReadBarrierDepends),
-                &cal,
-                &pow2_targets(0, 9),
-                env.clone(),
-                cfg.run,
-            )
-        })
-        .collect()
+    [
+        "ebizzy",
+        "xalan",
+        "netperf_udp",
+        "osm_stack",
+        "lmbench",
+        "netperf_tcp",
+    ]
+    .iter()
+    .map(|name| {
+        let bench = KernelBench::new(kernel_profile(name).expect("profile exists"), cfg.scale);
+        sweep(
+            &m,
+            &bench,
+            &strategy,
+            SweepTarget::Path(KMacro::ReadBarrierDepends),
+            &cal,
+            &pow2_targets(0, 9),
+            env.clone(),
+            cfg.run,
+        )
+    })
+    .collect()
 }
 
 /// Fig. 10: relative performance of the six rbd fencing strategies on the
@@ -469,11 +535,17 @@ pub fn fig10_rbd_strategies(cfg: ExpConfig) -> Vec<(RbdStrategy, Vec<StrategyDel
     let env = kernel_envelope();
     let base = rbd_strategy(RbdStrategy::BaseCase);
     let base_rw = SiteRewriter::new(&base, Injection::None, env.clone());
-    let benches: Vec<KernelBench> =
-        ["ebizzy", "xalan", "netperf_udp", "osm_stack", "lmbench", "netperf_tcp"]
-            .iter()
-            .map(|n| KernelBench::new(kernel_profile(n).expect("exists"), cfg.scale))
-            .collect();
+    let benches: Vec<KernelBench> = [
+        "ebizzy",
+        "xalan",
+        "netperf_udp",
+        "osm_stack",
+        "lmbench",
+        "netperf_tcp",
+    ]
+    .iter()
+    .map(|n| KernelBench::new(kernel_profile(n).expect("exists"), cfg.scale))
+    .collect();
     let bases: Vec<_> = benches
         .iter()
         .map(|b| measure(&m, b, &base_rw, cfg.run))
@@ -516,8 +588,10 @@ pub fn sc_strategy_experiment(cfg: ExpConfig) -> Vec<StrategyDelta> {
     let env = {
         let paths: Vec<KMacro> = KMacro::ALL.to_vec();
         let strategies: Vec<_> = RbdStrategy::ALL.iter().map(|s| rbd_strategy(*s)).collect();
-        let mut refs: Vec<&dyn FencingStrategy<KMacro>> =
-            strategies.iter().map(|s| s as &dyn FencingStrategy<KMacro>).collect();
+        let mut refs: Vec<&dyn FencingStrategy<KMacro>> = strategies
+            .iter()
+            .map(|s| s as &dyn FencingStrategy<KMacro>)
+            .collect();
         refs.push(&sc);
         compute_envelope(&paths, &refs, 5)
     };
@@ -550,7 +624,10 @@ pub fn rbd_cost_estimates(cfg: ExpConfig) -> Vec<(RbdStrategy, f64, f64)> {
     let mut k_of: HashMap<String, f64> = HashMap::new();
     let mut benches: Vec<KernelBench> = vec![];
     for n in bench_names {
-        benches.push(KernelBench::new(kernel_profile(n).expect("exists"), cfg.scale));
+        benches.push(KernelBench::new(
+            kernel_profile(n).expect("exists"),
+            cfg.scale,
+        ));
     }
     let lm_subs = lmbench_subs(cfg.scale);
     let k_for = |bench: &KernelBench| -> Option<f64> {
@@ -604,7 +681,9 @@ pub fn rbd_cost_estimates(cfg: ExpConfig) -> Vec<(RbdStrategy, f64, f64)> {
         // Other benchmarks.
         let mut other_as = vec![];
         for b in &benches {
-            let Some(&k) = k_of.get(b.name()) else { continue };
+            let Some(&k) = k_of.get(b.name()) else {
+                continue;
+            };
             if k < 1e-5 {
                 continue; // too insensitive to invert Eq. 2 meaningfully
             }

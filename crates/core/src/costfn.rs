@@ -193,7 +193,10 @@ mod tests {
         let cal = Calibration::measure(&m, false, 10);
         let t1 = cal.ns_for_iters(1);
         let t8 = cal.ns_for_iters(8);
-        assert!(t8 < 6.0 * t1, "overlap should compress small loops: {t1} vs {t8}");
+        assert!(
+            t8 < 6.0 * t1,
+            "overlap should compress small loops: {t1} vs {t8}"
+        );
     }
 
     #[test]
@@ -213,10 +216,7 @@ mod tests {
         for target in [1.0, 4.0, 16.0, 100.0, 1000.0] {
             let n = cal.iters_for_ns(target);
             let t = cal.ns_for_iters(n);
-            assert!(
-                t >= target || n == 1,
-                "target {target}: got n={n} t={t}"
-            );
+            assert!(t >= target || n == 1, "target {target}: got n={n} t={t}");
             if n > 1 {
                 assert!(
                     cal.ns_for_iters(n - 1) < target,

@@ -1,0 +1,85 @@
+//! The execution seam: how batches of independent simulations are run.
+//!
+//! Every experiment in the methodology — a [`crate::runner::measure`] call,
+//! a [`crate::sensitivity::sweep`], a ranking matrix, a turnkey evaluation —
+//! bottoms out in a set of *independent, deterministic* simulations: each is
+//! one `(machine, program, ctx, seed)` cell, and cells never depend on each
+//! other's results. [`Executor`] abstracts over how such a batch is driven:
+//! the in-crate [`SerialExecutor`] runs cells in order on the calling
+//! thread; the `wmm-harness` crate provides a parallel, caching executor
+//! that fans cells out across worker threads and skips already-simulated
+//! cells via a content-addressed result cache.
+//!
+//! The contract that makes this safe to parallelise: `run_batch` must return
+//! wall-times **in job order**, and each job's result must depend only on
+//! that job's inputs. The simulator guarantees the latter (`Machine::run` is
+//! deterministic in `(program, ctx, seed)`), so any executor that preserves
+//! order produces bit-identical experiment output regardless of worker
+//! count.
+
+use wmm_sim::machine::{Program, WorkloadCtx};
+use wmm_sim::Machine;
+
+/// One independent simulation cell: everything `Machine::run` needs.
+///
+/// Jobs own their program and context so a batch can outlive the image it
+/// was linked from and cross thread boundaries freely.
+pub struct SimJob<'a> {
+    /// The machine to simulate on.
+    pub machine: &'a Machine,
+    /// The linked program.
+    pub program: Program,
+    /// Workload execution context.
+    pub ctx: WorkloadCtx,
+    /// Sample seed.
+    pub seed: u64,
+}
+
+impl SimJob<'_> {
+    /// Run this job to completion, returning the simulated wall time (ns).
+    pub fn run(&self) -> f64 {
+        self.machine
+            .run(&self.program, &self.ctx, self.seed)
+            .wall_ns
+    }
+}
+
+/// Strategy for draining a batch of independent simulation jobs.
+pub trait Executor: Sync {
+    /// Run every job and return the wall times (ns) **in job order**.
+    fn run_batch(&self, jobs: Vec<SimJob<'_>>) -> Vec<f64>;
+}
+
+/// The default executor: runs jobs sequentially on the calling thread.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerialExecutor;
+
+impl Executor for SerialExecutor {
+    fn run_batch(&self, jobs: Vec<SimJob<'_>>) -> Vec<f64> {
+        jobs.iter().map(SimJob::run).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmm_sim::arch::armv8_xgene1;
+    use wmm_sim::isa::Instr;
+
+    #[test]
+    fn serial_executor_matches_direct_runs() {
+        let machine = Machine::new(armv8_xgene1());
+        let ctx = WorkloadCtx::default();
+        let mk = |cycles: u32, seed: u64| SimJob {
+            machine: &machine,
+            program: Program::new(vec![vec![Instr::Compute { cycles }]]),
+            ctx: ctx.clone(),
+            seed,
+        };
+        let jobs = vec![mk(100, 1), mk(5_000, 2), mk(700, 3)];
+        let direct: Vec<f64> = jobs.iter().map(SimJob::run).collect();
+        let batched = SerialExecutor.run_batch(jobs);
+        assert_eq!(batched, direct);
+        assert!(batched[1] > batched[0]);
+    }
+}

@@ -280,8 +280,7 @@ mod tests {
         let base_a = SiteRewriter::new(&a, Injection::None, env.clone()).link(&img);
         let base_b = SiteRewriter::new(&b, Injection::None, env.clone()).link(&img);
         let inj_a = SiteRewriter::new(&a, Injection::All(cf), env.clone()).link(&img);
-        let inj_one =
-            SiteRewriter::new(&a, Injection::At(Path::Enter, cf), env.clone()).link(&img);
+        let inj_one = SiteRewriter::new(&a, Injection::At(Path::Enter, cf), env.clone()).link(&img);
 
         let sz = program_words(&base_a);
         for (name, p) in [

@@ -34,7 +34,9 @@
 #![warn(missing_docs)]
 
 pub mod costfn;
+pub mod exec;
 pub mod image;
+pub mod json;
 pub mod model;
 pub mod ranking;
 pub mod report;
@@ -44,9 +46,14 @@ pub mod strategy;
 pub mod turnkey;
 
 pub use costfn::{Calibration, CostFunction};
+pub use exec::{Executor, SerialExecutor, SimJob};
 pub use image::{Image, Segment, SiteRewriter};
+pub use json::{Json, ToJson};
 pub use model::{estimate_cost, predicted_performance, SensitivityFit};
-pub use runner::{measure, measure_relative, BenchSpec, Measurement, RunConfig};
-pub use sensitivity::{sweep, SweepPoint, SweepResult};
+pub use runner::{
+    measure, measure_relative, measure_relative_with, measure_with, BenchSpec, Measurement,
+    RunConfig,
+};
+pub use sensitivity::{sweep, sweep_with, SweepPoint, SweepResult};
 pub use strategy::FencingStrategy;
-pub use turnkey::{evaluate, TurnkeyReport};
+pub use turnkey::{evaluate, evaluate_with, TurnkeyReport};

@@ -22,7 +22,7 @@
 //! strategy change's performance ratio converts to "equivalent ns per
 //! invocation".
 
-use serde::{Deserialize, Serialize};
+use crate::json::{Json, ToJson};
 use wmm_stats::{curve_fit, FitOptions};
 
 /// Eq. 1: predicted normalised performance for sensitivity `k` and
@@ -38,7 +38,7 @@ pub fn estimate_cost(k: f64, p: f64) -> f64 {
 }
 
 /// Result of fitting Eq. 1 to a sweep of `(a, p)` samples.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SensitivityFit {
     /// Fitted sensitivity.
     pub k: f64,
@@ -68,6 +68,16 @@ impl SensitivityFit {
     /// Format as the paper prints it, e.g. `k=0.00885 ±3%`.
     pub fn display(&self) -> String {
         format!("k={:.5} ±{:.0}%", self.k, self.relative_error() * 100.0)
+    }
+}
+
+impl ToJson for SensitivityFit {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("k", Json::Num(self.k)),
+            ("k_std_err", Json::Num(self.k_std_err)),
+            ("r_squared", Json::Num(self.r_squared)),
+        ])
     }
 }
 

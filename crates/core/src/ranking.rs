@@ -14,8 +14,9 @@ use wmm_sim::Machine;
 use wmm_stats::Comparison;
 
 use crate::costfn::CostFunction;
+use crate::exec::{Executor, SerialExecutor};
 use crate::image::{Injection, SiteRewriter};
-use crate::runner::{measure, BenchSpec, RunConfig};
+use crate::runner::{measurement_from_times, measurement_jobs, BenchSpec, RunConfig};
 use crate::strategy::FencingStrategy;
 
 /// The full measurement matrix of a ranking experiment.
@@ -84,23 +85,61 @@ pub fn ranking_matrix<P: Clone + Eq + Hash>(
     envelope: HashMap<P, u64>,
     cfg: RunConfig,
 ) -> RankingMatrix<P> {
-    // Base case per benchmark (nop-padded).
+    ranking_matrix_with(
+        machine,
+        benches,
+        strategy,
+        paths,
+        cost,
+        envelope,
+        cfg,
+        &SerialExecutor,
+    )
+}
+
+/// [`ranking_matrix`] through an explicit [`Executor`]: the per-benchmark
+/// base cases and every `(path × benchmark)` cell are submitted as one batch
+/// of independent simulations, so a parallel executor can drain the whole
+/// matrix concurrently.
+#[allow(clippy::too_many_arguments)]
+pub fn ranking_matrix_with<P: Clone + Eq + Hash>(
+    machine: &Machine,
+    benches: &[&dyn BenchSpec<P>],
+    strategy: &dyn FencingStrategy<P>,
+    paths: &[P],
+    cost: CostFunction,
+    envelope: HashMap<P, u64>,
+    cfg: RunConfig,
+    exec: &dyn Executor,
+) -> RankingMatrix<P> {
+    let runs = cfg.warmups + cfg.samples;
+    // Base case per benchmark (nop-padded), then every (path, bench) cell.
     let base_rw = SiteRewriter::new(strategy, Injection::None, envelope.clone());
-    let bases: Vec<_> = benches
-        .iter()
-        .map(|b| measure(machine, *b, &base_rw, cfg))
+    let mut jobs = Vec::with_capacity(runs * benches.len() * (paths.len() + 1));
+    for b in benches {
+        let (j, _) = measurement_jobs(machine, *b, &base_rw, cfg);
+        jobs.extend(j);
+    }
+    for p in paths {
+        let rw = SiteRewriter::new(strategy, Injection::At(p.clone(), cost), envelope.clone());
+        for b in benches {
+            let (j, _) = measurement_jobs(machine, *b, &rw, cfg);
+            jobs.extend(j);
+        }
+    }
+
+    let times = exec.run_batch(jobs);
+    let slice = |idx: usize| &times[runs * idx..runs * (idx + 1)];
+    let bases: Vec<_> = (0..benches.len())
+        .map(|i| measurement_from_times(slice(i), 1.0, cfg))
         .collect();
 
     let mut rel_perf = Vec::with_capacity(paths.len());
-    for p in paths {
-        let rw = SiteRewriter::new(
-            strategy,
-            Injection::At(p.clone(), cost),
-            envelope.clone(),
-        );
+    for (pi, _) in paths.iter().enumerate() {
         let mut row = Vec::with_capacity(benches.len());
-        for (b, base) in benches.iter().zip(&bases) {
-            let test = measure(machine, *b, &rw, cfg);
+        for (bi, base) in bases.iter().enumerate() {
+            let cell = benches.len() * (pi + 1) + bi;
+            let test = measurement_from_times(slice(cell), 1.0, cfg);
             row.push(Comparison::of_times(&test.times_ns, &base.times_ns).ratio);
         }
         rel_perf.push(row);
@@ -155,9 +194,7 @@ mod tests {
         }
         fn image(&self, _seed: u64) -> Image<P> {
             Image {
-                threads: vec![vec![Segment::Code(vec![Instr::Compute {
-                    cycles: 20_000,
-                }])]],
+                threads: vec![vec![Segment::Code(vec![Instr::Compute { cycles: 20_000 }])]],
                 ctx: WorkloadCtx::default(),
                 work_units: 1.0,
             }
@@ -188,7 +225,11 @@ mod tests {
         assert_eq!(m.data_points(), 4);
 
         let by_path = m.by_path_impact();
-        assert_eq!(by_path[0].0, P::Hot, "hot path must rank first: {by_path:?}");
+        assert_eq!(
+            by_path[0].0,
+            P::Hot,
+            "hot path must rank first: {by_path:?}"
+        );
         assert!(by_path[0].1 < by_path[1].1);
 
         let by_bench = m.by_benchmark_sensitivity();

@@ -7,8 +7,7 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
-use serde::Serialize;
-
+use crate::json::ToJson;
 use crate::sensitivity::SweepResult;
 
 /// A simple text table.
@@ -110,9 +109,11 @@ impl Table {
     }
 }
 
-/// Serialise any serde value as pretty JSON to a file (experiment records).
-pub fn write_json<T: Serialize>(path: impl AsRef<Path>, value: &T) -> io::Result<()> {
-    let s = serde_json::to_string_pretty(value).map_err(io::Error::other)?;
+/// Serialise any [`ToJson`] value as pretty JSON to a file (experiment
+/// records).
+pub fn write_json<T: ToJson + ?Sized>(path: impl AsRef<Path>, value: &T) -> io::Result<()> {
+    let mut s = value.to_json().to_string_pretty();
+    s.push('\n');
     fs::write(path, s)
 }
 

@@ -11,6 +11,7 @@ use std::hash::Hash;
 use wmm_sim::Machine;
 use wmm_stats::{confidence_interval, Comparison, ConfidenceInterval, Summary};
 
+use crate::exec::{Executor, SerialExecutor, SimJob};
 use crate::image::{Image, SiteRewriter};
 
 /// A benchmark: a black box producing a program image per sample seed.
@@ -87,6 +88,42 @@ impl Measurement {
     }
 }
 
+/// The linked simulation jobs for one `(bench, rewriter, cfg)` measurement,
+/// plus its work-unit count — the batchable form of [`measure`].
+///
+/// Returns `cfg.warmups + cfg.samples` jobs; the first `cfg.warmups`
+/// results are warm-up runs to discard.
+pub fn measurement_jobs<'m, P: Clone + Eq + Hash>(
+    machine: &'m Machine,
+    bench: &dyn BenchSpec<P>,
+    rewriter: &SiteRewriter<'_, P>,
+    cfg: RunConfig,
+) -> (Vec<SimJob<'m>>, f64) {
+    let mut jobs = Vec::with_capacity(cfg.warmups + cfg.samples);
+    let mut work_units = 1.0;
+    for i in 0..(cfg.warmups + cfg.samples) {
+        let seed = cfg.base_seed.wrapping_add(i as u64);
+        let image = bench.image(seed);
+        work_units = image.work_units;
+        let program = rewriter.link(&image);
+        jobs.push(SimJob {
+            machine,
+            program,
+            ctx: image.ctx,
+            seed,
+        });
+    }
+    (jobs, work_units)
+}
+
+/// Assemble a [`Measurement`] from batch results (drops warm-ups).
+pub fn measurement_from_times(times: &[f64], work_units: f64, cfg: RunConfig) -> Measurement {
+    Measurement {
+        times_ns: times[cfg.warmups..].to_vec(),
+        work_units,
+    }
+}
+
 /// Run `bench` under `rewriter` on `machine` and collect samples.
 pub fn measure<P: Clone + Eq + Hash>(
     machine: &Machine,
@@ -94,22 +131,20 @@ pub fn measure<P: Clone + Eq + Hash>(
     rewriter: &SiteRewriter<'_, P>,
     cfg: RunConfig,
 ) -> Measurement {
-    let mut times = Vec::with_capacity(cfg.samples);
-    let mut work_units = 1.0;
-    for i in 0..(cfg.warmups + cfg.samples) {
-        let seed = cfg.base_seed.wrapping_add(i as u64);
-        let image = bench.image(seed);
-        work_units = image.work_units;
-        let program = rewriter.link(&image);
-        let stats = machine.run(&program, &image.ctx, seed);
-        if i >= cfg.warmups {
-            times.push(stats.wall_ns);
-        }
-    }
-    Measurement {
-        times_ns: times,
-        work_units,
-    }
+    measure_with(machine, bench, rewriter, cfg, &SerialExecutor)
+}
+
+/// [`measure`] through an explicit [`Executor`] — the harness seam.
+pub fn measure_with<P: Clone + Eq + Hash>(
+    machine: &Machine,
+    bench: &dyn BenchSpec<P>,
+    rewriter: &SiteRewriter<'_, P>,
+    cfg: RunConfig,
+    exec: &dyn Executor,
+) -> Measurement {
+    let (jobs, work_units) = measurement_jobs(machine, bench, rewriter, cfg);
+    let times = exec.run_batch(jobs);
+    measurement_from_times(&times, work_units, cfg)
 }
 
 /// Measure a test configuration against a base configuration and return the
@@ -122,8 +157,26 @@ pub fn measure_relative<P: Clone + Eq + Hash>(
     test: &SiteRewriter<'_, P>,
     cfg: RunConfig,
 ) -> Comparison {
-    let b = measure(machine, bench, base, cfg);
-    let t = measure(machine, bench, test, cfg);
+    measure_relative_with(machine, bench, base, test, cfg, &SerialExecutor)
+}
+
+/// [`measure_relative`] through an explicit [`Executor`]: base and test
+/// samples are submitted as one batch so they can run concurrently.
+pub fn measure_relative_with<P: Clone + Eq + Hash>(
+    machine: &Machine,
+    bench: &dyn BenchSpec<P>,
+    base: &SiteRewriter<'_, P>,
+    test: &SiteRewriter<'_, P>,
+    cfg: RunConfig,
+    exec: &dyn Executor,
+) -> Comparison {
+    let (mut jobs, base_wu) = measurement_jobs(machine, bench, base, cfg);
+    let split = jobs.len();
+    let (test_jobs, test_wu) = measurement_jobs(machine, bench, test, cfg);
+    jobs.extend(test_jobs);
+    let times = exec.run_batch(jobs);
+    let b = measurement_from_times(&times[..split], base_wu, cfg);
+    let t = measurement_from_times(&times[split..], test_wu, cfg);
     Comparison::of_times(&t.times_ns, &b.times_ns)
 }
 
@@ -169,9 +222,7 @@ mod tests {
     #[test]
     fn measurement_discards_warmups_and_keeps_samples() {
         let machine = Machine::new(armv8_xgene1());
-        let strategy = FnStrategy::new("dmb", |_: &OnlyPath| {
-            vec![Instr::Fence(FenceKind::DmbIsh)]
-        });
+        let strategy = FnStrategy::new("dmb", |_: &OnlyPath| vec![Instr::Fence(FenceKind::DmbIsh)]);
         let env = compute_envelope(&[OnlyPath], &[&strategy], 5);
         let rw = SiteRewriter::new(&strategy, Injection::None, env);
         let bench = Toy {
@@ -188,9 +239,7 @@ mod tests {
     #[test]
     fn injection_slows_the_benchmark() {
         let machine = Machine::new(armv8_xgene1());
-        let strategy = FnStrategy::new("dmb", |_: &OnlyPath| {
-            vec![Instr::Fence(FenceKind::DmbIsh)]
-        });
+        let strategy = FnStrategy::new("dmb", |_: &OnlyPath| vec![Instr::Fence(FenceKind::DmbIsh)]);
         let cf = CostFunction {
             iters: 1 << 10,
             stack_spill: true,
@@ -214,9 +263,7 @@ mod tests {
     #[test]
     fn identical_configs_show_no_change() {
         let machine = Machine::new(armv8_xgene1());
-        let strategy = FnStrategy::new("dmb", |_: &OnlyPath| {
-            vec![Instr::Fence(FenceKind::DmbIsh)]
-        });
+        let strategy = FnStrategy::new("dmb", |_: &OnlyPath| vec![Instr::Fence(FenceKind::DmbIsh)]);
         let env = compute_envelope(&[OnlyPath], &[&strategy], 5);
         let a = SiteRewriter::new(&strategy, Injection::None, env.clone());
         let b = SiteRewriter::new(&strategy, Injection::None, env);

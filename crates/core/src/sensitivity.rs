@@ -8,9 +8,10 @@ use wmm_sim::Machine;
 use wmm_stats::Comparison;
 
 use crate::costfn::Calibration;
+use crate::exec::{Executor, SerialExecutor};
 use crate::image::{Injection, SiteRewriter};
 use crate::model::{fit_sensitivity, SensitivityFit};
-use crate::runner::{measure, BenchSpec, RunConfig};
+use crate::runner::{measurement_from_times, measurement_jobs, BenchSpec, RunConfig};
 use crate::strategy::FencingStrategy;
 
 /// One point of a sweep.
@@ -97,10 +98,40 @@ pub fn sweep<P: Clone + Eq + Hash>(
     envelope: std::collections::HashMap<P, u64>,
     cfg: RunConfig,
 ) -> SweepResult {
-    let base_rw = SiteRewriter::new(strategy, Injection::None, envelope.clone());
-    let base = measure(machine, bench, &base_rw, cfg);
+    sweep_with(
+        machine,
+        bench,
+        strategy,
+        target,
+        calibration,
+        targets_ns,
+        envelope,
+        cfg,
+        &SerialExecutor,
+    )
+}
 
-    let mut points = Vec::with_capacity(targets_ns.len());
+/// [`sweep`] through an explicit [`Executor`]: the base case and every
+/// cost-size point are linked up front and submitted as a single batch of
+/// independent simulations, so a parallel executor can run the whole sweep
+/// concurrently.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_with<P: Clone + Eq + Hash>(
+    machine: &Machine,
+    bench: &dyn BenchSpec<P>,
+    strategy: &dyn FencingStrategy<P>,
+    target: SweepTarget<P>,
+    calibration: &Calibration,
+    targets_ns: &[f64],
+    envelope: std::collections::HashMap<P, u64>,
+    cfg: RunConfig,
+    exec: &dyn Executor,
+) -> SweepResult {
+    let runs = cfg.warmups + cfg.samples;
+    let base_rw = SiteRewriter::new(strategy, Injection::None, envelope.clone());
+    let (mut jobs, base_wu) = measurement_jobs(machine, bench, &base_rw, cfg);
+
+    let mut cfs = Vec::with_capacity(targets_ns.len());
     for &t_ns in targets_ns {
         let (cf, actual_ns) = calibration.for_target_ns(t_ns);
         let injection = match &target {
@@ -109,7 +140,18 @@ pub fn sweep<P: Clone + Eq + Hash>(
             SweepTarget::Paths(ps) => Injection::Set(ps.clone(), cf),
         };
         let rw = SiteRewriter::new(strategy, injection, envelope.clone());
-        let test = measure(machine, bench, &rw, cfg);
+        let (test_jobs, _) = measurement_jobs(machine, bench, &rw, cfg);
+        jobs.extend(test_jobs);
+        cfs.push((t_ns, cf, actual_ns));
+    }
+
+    let times = exec.run_batch(jobs);
+    let base = measurement_from_times(&times[..runs], base_wu, cfg);
+
+    let mut points = Vec::with_capacity(targets_ns.len());
+    for (i, (t_ns, cf, actual_ns)) in cfs.into_iter().enumerate() {
+        let slice = &times[runs * (i + 1)..runs * (i + 2)];
+        let test = measurement_from_times(slice, base_wu, cfg);
         let cmp = Comparison::of_times(&test.times_ns, &base.times_ns);
         points.push(SweepPoint {
             target_ns: t_ns,
@@ -259,8 +301,7 @@ mod tests {
             }
         }
         let machine = Machine::new(armv8_xgene1());
-        let strategy =
-            FnStrategy::new("dmb", |_: &P2| vec![Instr::Fence(FenceKind::DmbIsh)]);
+        let strategy = FnStrategy::new("dmb", |_: &P2| vec![Instr::Fence(FenceKind::DmbIsh)]);
         let cal = Calibration::measure(&machine, false, 10);
         let env = compute_envelope(&[P2::Hot, P2::Cold], &[&strategy], 3);
         let result = sweep(

@@ -112,9 +112,7 @@ mod tests {
 
     #[test]
     fn override_replaces_only_target() {
-        let base = FnStrategy::new("base", |_: &Path| {
-            vec![Instr::Fence(FenceKind::LwSync)]
-        });
+        let base = FnStrategy::new("base", |_: &Path| vec![Instr::Fence(FenceKind::LwSync)]);
         let over = OverrideStrategy::new(
             "StoreStore=sync",
             &base,

@@ -13,14 +13,15 @@
 use std::collections::HashMap;
 use std::hash::Hash;
 
-use serde::Serialize;
 use wmm_sim::Machine;
 
 use crate::costfn::Calibration;
+use crate::exec::{Executor, SerialExecutor};
 use crate::image::compute_envelope;
+use crate::json::{Json, ToJson};
 use crate::model::SensitivityFit;
 use crate::runner::{BenchSpec, RunConfig};
-use crate::sensitivity::{pow2_targets, sweep, SweepTarget};
+use crate::sensitivity::{pow2_targets, sweep_with, SweepTarget};
 use crate::strategy::FencingStrategy;
 
 /// Thresholds for the usability verdict (§3: a benchmark suits a code path
@@ -46,7 +47,7 @@ impl Default for Usability {
 }
 
 /// Per-code-path result of a turnkey evaluation.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PathReport {
     /// Human-readable path label.
     pub path: String,
@@ -62,7 +63,7 @@ pub struct PathReport {
 }
 
 /// The full turnkey report for one (machine, benchmark, strategy) triple.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TurnkeyReport {
     /// Benchmark name.
     pub benchmark: String,
@@ -72,6 +73,29 @@ pub struct TurnkeyReport {
     pub strategy: String,
     /// Per-path results, sorted by descending sensitivity.
     pub paths: Vec<PathReport>,
+}
+
+impl ToJson for PathReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("path", self.path.to_json()),
+            ("invocations", self.invocations.to_json()),
+            ("fit", self.fit.to_json()),
+            ("instability", Json::Num(self.instability)),
+            ("usable", Json::Bool(self.usable)),
+        ])
+    }
+}
+
+impl ToJson for TurnkeyReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("benchmark", self.benchmark.to_json()),
+            ("arch", self.arch.to_json()),
+            ("strategy", self.strategy.to_json()),
+            ("paths", self.paths.to_json()),
+        ])
+    }
 }
 
 impl TurnkeyReport {
@@ -104,6 +128,35 @@ pub fn evaluate<P>(
 where
     P: Clone + Eq + Hash + std::fmt::Debug,
 {
+    evaluate_with(
+        machine,
+        bench,
+        strategy,
+        spill,
+        targets_exp,
+        usability,
+        cfg,
+        &SerialExecutor,
+    )
+}
+
+/// [`evaluate`] through an explicit [`Executor`]: each per-path sweep is
+/// batched through the executor, so a parallel executor overlaps the
+/// simulations within every sweep.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_with<P>(
+    machine: &Machine,
+    bench: &dyn BenchSpec<P>,
+    strategy: &dyn FencingStrategy<P>,
+    spill: bool,
+    targets_exp: u32,
+    usability: Usability,
+    cfg: RunConfig,
+    exec: &dyn Executor,
+) -> TurnkeyReport
+where
+    P: Clone + Eq + Hash + std::fmt::Debug,
+{
     // 1. Calibrate.
     let calibration = Calibration::measure(machine, spill, 12);
 
@@ -124,7 +177,7 @@ where
     // 3. Sweep each path and fit.
     let mut reports = Vec::with_capacity(paths.len());
     for p in &paths {
-        let result = sweep(
+        let result = sweep_with(
             machine,
             bench,
             strategy,
@@ -133,6 +186,7 @@ where
             &pow2_targets(0, targets_exp),
             envelope.clone(),
             cfg,
+            exec,
         );
         let instability = result.mean_error_width();
         let usable = result
@@ -207,8 +261,7 @@ mod tests {
     #[test]
     fn turnkey_ranks_hot_path_first_and_flags_usability() {
         let machine = Machine::new(armv8_xgene1());
-        let strategy =
-            FnStrategy::new("dmb", |_: &P| vec![Instr::Fence(FenceKind::DmbIsh)]);
+        let strategy = FnStrategy::new("dmb", |_: &P| vec![Instr::Fence(FenceKind::DmbIsh)]);
         let report = evaluate(
             &machine,
             &TwoPath,
@@ -233,8 +286,7 @@ mod tests {
     #[test]
     fn turnkey_report_serialises() {
         let machine = Machine::new(armv8_xgene1());
-        let strategy =
-            FnStrategy::new("dmb", |_: &P| vec![Instr::Fence(FenceKind::DmbIsh)]);
+        let strategy = FnStrategy::new("dmb", |_: &P| vec![Instr::Fence(FenceKind::DmbIsh)]);
         let report = evaluate(
             &machine,
             &TwoPath,
@@ -244,7 +296,7 @@ mod tests {
             Usability::default(),
             RunConfig::quick(),
         );
-        let json = serde_json::to_string(&report).expect("serialises");
+        let json = report.to_json().to_string();
         assert!(json.contains("\"benchmark\":\"twopath\""));
     }
 }

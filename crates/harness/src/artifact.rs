@@ -1,0 +1,347 @@
+//! Persistent run artifacts.
+//!
+//! Every campaign writes a schema-versioned JSON manifest under
+//! `results/runs/`: the per-cell measurements and fitted sensitivities that
+//! define the experiment's outcome, plus a telemetry section (job counts,
+//! timings, cache hit rate, worker count) describing how it ran.
+//!
+//! The two sections have different determinism contracts. The *result*
+//! section is a pure function of the experiment inputs and is what
+//! [`RunManifest::canonical_json`] serialises — byte-identical across
+//! worker counts, cache states and machines. The *telemetry* section is
+//! observational and excluded from the canonical form; the regression gate
+//! compares canonical content only.
+
+use std::path::{Path, PathBuf};
+
+use wmmbench::json::{Json, ToJson};
+use wmmbench::model::SensitivityFit;
+
+/// Manifest schema version; bump on any breaking layout change.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One scalar measurement cell (e.g. a sweep point's relative performance,
+/// a ranking-matrix entry), identified by a stable label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRecord {
+    /// Stable identifier, e.g. `"spark/volatile-read/a=16"`.
+    pub label: String,
+    /// The measured value.
+    pub value: f64,
+}
+
+/// One fitted sensitivity, identified by a stable label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitRecord {
+    /// Stable identifier, e.g. `"spark/volatile-read"`.
+    pub label: String,
+    /// Fitted sensitivity `k` (Eq. 1).
+    pub k: f64,
+    /// Standard error of `k`.
+    pub k_std_err: f64,
+    /// Coefficient of determination of the fit.
+    pub r_squared: f64,
+}
+
+/// How a campaign ran: counters from the executor, excluded from the
+/// canonical (gated) manifest content.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Telemetry {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Batches submitted.
+    pub batches: u64,
+    /// Total jobs (including cache hits).
+    pub jobs: u64,
+    /// Jobs answered from the result cache.
+    pub cache_hits: u64,
+    /// Jobs actually simulated.
+    pub cache_misses: u64,
+    /// Sum of per-job simulation wall time, ms.
+    pub sim_ms: f64,
+    /// Wall time spent inside `run_batch`, ms.
+    pub wall_ms: f64,
+}
+
+impl Telemetry {
+    /// Fraction of jobs answered from cache.
+    pub fn hit_rate(&self) -> f64 {
+        if self.jobs == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.jobs as f64
+        }
+    }
+}
+
+impl ToJson for Telemetry {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("threads", self.threads.to_json()),
+            ("batches", self.batches.to_json()),
+            ("jobs", self.jobs.to_json()),
+            ("cache_hits", self.cache_hits.to_json()),
+            ("cache_misses", self.cache_misses.to_json()),
+            ("cache_hit_rate", Json::Num(self.hit_rate())),
+            ("sim_ms", Json::Num(self.sim_ms)),
+            ("wall_ms", Json::Num(self.wall_ms)),
+        ])
+    }
+}
+
+/// The per-campaign run artifact.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunManifest {
+    /// Campaign name; also the manifest's file stem under `results/runs/`.
+    pub campaign: String,
+    /// Architecture label(s) the campaign ran on.
+    pub arch: String,
+    /// Per-cell measurements.
+    pub cells: Vec<CellRecord>,
+    /// Fitted sensitivities.
+    pub fits: Vec<FitRecord>,
+    /// Execution telemetry (not part of the canonical content).
+    pub telemetry: Option<Telemetry>,
+}
+
+impl RunManifest {
+    /// An empty manifest for `campaign` on `arch`.
+    pub fn new(campaign: impl Into<String>, arch: impl Into<String>) -> Self {
+        RunManifest {
+            campaign: campaign.into(),
+            arch: arch.into(),
+            ..RunManifest::default()
+        }
+    }
+
+    /// Record one measurement cell.
+    pub fn push_cell(&mut self, label: impl Into<String>, value: f64) {
+        self.cells.push(CellRecord {
+            label: label.into(),
+            value,
+        });
+    }
+
+    /// Record one fitted sensitivity.
+    pub fn push_fit(&mut self, label: impl Into<String>, fit: &SensitivityFit) {
+        self.fits.push(FitRecord {
+            label: label.into(),
+            k: fit.k,
+            k_std_err: fit.k_std_err,
+            r_squared: fit.r_squared,
+        });
+    }
+
+    /// The deterministic result content: everything except telemetry.
+    /// Byte-identical across worker counts and cache states; this is what
+    /// the determinism tests compare and what the gate inspects.
+    pub fn canonical_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema_version", SCHEMA_VERSION.to_json()),
+            ("campaign", self.campaign.to_json()),
+            ("arch", self.arch.to_json()),
+            (
+                "cells",
+                Json::Arr(
+                    self.cells
+                        .iter()
+                        .map(|c| {
+                            Json::obj(vec![
+                                ("label", c.label.to_json()),
+                                ("value", Json::Num(c.value)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "fits",
+                Json::Arr(
+                    self.fits
+                        .iter()
+                        .map(|f| {
+                            Json::obj(vec![
+                                ("label", f.label.to_json()),
+                                ("k", Json::Num(f.k)),
+                                ("k_std_err", Json::Num(f.k_std_err)),
+                                ("r_squared", Json::Num(f.r_squared)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Serialise to the written manifest file's text (canonical content
+    /// plus the telemetry section).
+    pub fn to_file_text(&self) -> String {
+        let mut json = self.canonical_json();
+        if let (Json::Obj(pairs), Some(t)) = (&mut json, &self.telemetry) {
+            pairs.push(("telemetry".to_string(), t.to_json()));
+        }
+        let mut text = json.to_string_pretty();
+        text.push('\n');
+        text
+    }
+
+    /// Write the manifest to `dir/<campaign>.json`, creating `dir` as
+    /// needed, and return the path.
+    pub fn write(&self, dir: impl AsRef<Path>) -> std::io::Result<PathBuf> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.campaign));
+        std::fs::write(&path, self.to_file_text())?;
+        Ok(path)
+    }
+
+    /// Parse a manifest from JSON. Rejects unknown schema versions so the
+    /// gate never silently compares incompatible layouts.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        let version = json
+            .get("schema_version")
+            .and_then(Json::as_f64)
+            .ok_or("missing schema_version")? as u64;
+        if version != SCHEMA_VERSION {
+            return Err(format!(
+                "manifest schema version {version} (this build understands {SCHEMA_VERSION})"
+            ));
+        }
+        let field = |k: &str| {
+            json.get(k)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("missing {k}"))
+        };
+        let num = |j: &Json, k: &str| {
+            j.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing numeric {k}"))
+        };
+        let label = |j: &Json| {
+            j.get("label")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or("missing label")
+        };
+        let mut cells = vec![];
+        for c in json
+            .get("cells")
+            .and_then(Json::as_arr)
+            .ok_or("missing cells")?
+        {
+            cells.push(CellRecord {
+                label: label(c)?,
+                value: num(c, "value")?,
+            });
+        }
+        let mut fits = vec![];
+        for f in json
+            .get("fits")
+            .and_then(Json::as_arr)
+            .ok_or("missing fits")?
+        {
+            fits.push(FitRecord {
+                label: label(f)?,
+                k: num(f, "k")?,
+                k_std_err: num(f, "k_std_err")?,
+                r_squared: num(f, "r_squared")?,
+            });
+        }
+        let telemetry = json.get("telemetry").map(|t| Telemetry {
+            threads: t.get("threads").and_then(Json::as_f64).unwrap_or(0.0) as usize,
+            batches: t.get("batches").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            jobs: t.get("jobs").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            cache_hits: t.get("cache_hits").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            cache_misses: t.get("cache_misses").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            sim_ms: t.get("sim_ms").and_then(Json::as_f64).unwrap_or(0.0),
+            wall_ms: t.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0),
+        });
+        Ok(RunManifest {
+            campaign: field("campaign")?.to_string(),
+            arch: field("arch")?.to_string(),
+            cells,
+            fits,
+            telemetry,
+        })
+    }
+
+    /// Load a manifest file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, String> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let json = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::from_json(&json).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunManifest {
+        let mut m = RunManifest::new("fig5_test", "arm");
+        m.push_cell("spark/a=1", 0.996);
+        m.push_cell("spark/a=2", 0.985);
+        m.push_fit(
+            "spark",
+            &SensitivityFit {
+                k: 0.00885,
+                k_std_err: 0.0004,
+                r_squared: 0.997,
+            },
+        );
+        m
+    }
+
+    #[test]
+    fn canonical_excludes_telemetry() {
+        let mut a = sample();
+        let mut b = sample();
+        a.telemetry = Some(Telemetry {
+            threads: 1,
+            jobs: 10,
+            wall_ms: 123.0,
+            ..Telemetry::default()
+        });
+        b.telemetry = Some(Telemetry {
+            threads: 8,
+            jobs: 10,
+            cache_hits: 10,
+            wall_ms: 1.0,
+            ..Telemetry::default()
+        });
+        assert_eq!(
+            a.canonical_json().to_string(),
+            b.canonical_json().to_string()
+        );
+        assert_ne!(a.to_file_text(), b.to_file_text());
+    }
+
+    #[test]
+    fn file_roundtrip_is_lossless() {
+        let dir = std::env::temp_dir().join("wmm-harness-artifact-test");
+        let mut m = sample();
+        m.telemetry = Some(Telemetry {
+            threads: 4,
+            batches: 2,
+            jobs: 40,
+            cache_hits: 8,
+            cache_misses: 32,
+            sim_ms: 10.5,
+            wall_ms: 3.25,
+        });
+        let path = m.write(&dir).unwrap();
+        let back = RunManifest::load(&path).unwrap();
+        assert_eq!(back, m);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unknown_schema_version_is_rejected() {
+        let json = Json::parse(
+            r#"{"schema_version":99,"campaign":"x","arch":"arm","cells":[],"fits":[]}"#,
+        )
+        .unwrap();
+        assert!(RunManifest::from_json(&json).unwrap_err().contains("99"));
+    }
+}

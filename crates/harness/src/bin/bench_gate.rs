@@ -1,0 +1,75 @@
+//! Regression gate CLI: diff a run manifest against a committed baseline.
+//!
+//! ```text
+//! bench_gate <baseline.json> <current.json> [--k-tol FRAC] [--cell-tol FRAC]
+//! ```
+//!
+//! Exits 0 when every fitted sensitivity and measurement cell is within
+//! tolerance of the baseline, 1 on drift or structural differences, 2 on
+//! usage or I/O errors.
+
+use std::process::ExitCode;
+
+use wmm_harness::{compare, GateConfig, RunManifest};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench_gate <baseline.json> <current.json> [--k-tol FRAC] [--cell-tol FRAC]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut cfg = GateConfig::default();
+    let mut paths = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--k-tol" | "--cell-tol" => {
+                let Some(value) = args.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    return usage();
+                };
+                if arg == "--k-tol" {
+                    cfg.k_rel_tol = value;
+                } else {
+                    cfg.cell_rel_tol = value;
+                }
+            }
+            "--help" | "-h" => {
+                return usage();
+            }
+            _ => paths.push(arg),
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        return usage();
+    };
+
+    let load = |path: &str| match RunManifest::load(path) {
+        Ok(m) => Some(m),
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            None
+        }
+    };
+    let (Some(baseline), Some(current)) = (load(baseline_path), load(current_path)) else {
+        return ExitCode::from(2);
+    };
+
+    let report = compare(&baseline, &current, cfg);
+    if report.pass() {
+        println!(
+            "bench_gate: PASS — {} values within tolerance of {baseline_path}",
+            report.checked
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench_gate: FAIL — {} of {} checks out of tolerance:",
+            report.failures.len(),
+            report.checked.max(report.failures.len())
+        );
+        for failure in &report.failures {
+            eprintln!("  - {failure}");
+        }
+        ExitCode::FAILURE
+    }
+}

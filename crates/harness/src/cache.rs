@@ -1,0 +1,374 @@
+//! Content-addressed result caching.
+//!
+//! `Machine::run` is deterministic in `(arch, program, ctx, seed)`, so a
+//! simulation result can be reused whenever those inputs recur — across
+//! batches, campaigns and (with the on-disk store) processes. The cache key
+//! is a 128-bit FNV-1a hash over a canonical encoding of exactly those
+//! inputs: two independent 64-bit lanes keep accidental collisions far
+//! below any realistic campaign size.
+//!
+//! The on-disk store is an append-only text file of `key result` pairs;
+//! results are stored as `f64::to_bits` hex so a reloaded value is
+//! bit-identical to the freshly simulated one — caching never changes
+//! experiment output.
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use wmm_sim::isa::{AccessOrd, Instr, Loc, Mispredict};
+use wmmbench::exec::SimJob;
+
+/// One 64-bit FNV-1a lane.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new(basis: u64) -> Self {
+        Fnv(basis)
+    }
+    fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+    }
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+    fn bytes(&mut self, bs: &[u8]) {
+        self.u64(bs.len() as u64);
+        for &b in bs {
+            self.byte(b);
+        }
+    }
+}
+
+/// Two independent lanes (distinct offset bases) hashed in lockstep.
+struct Fnv128(Fnv, Fnv);
+
+impl Fnv128 {
+    fn new() -> Self {
+        // Lane 0: the standard FNV-1a offset basis; lane 1: an arbitrary
+        // odd constant so the lanes decorrelate.
+        Fnv128(
+            Fnv::new(0xcbf2_9ce4_8422_2325),
+            Fnv::new(0x9e37_79b9_7f4a_7c15),
+        )
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.u64(v);
+        self.1.u64(v ^ 0xa5a5_a5a5_a5a5_a5a5);
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn bytes(&mut self, bs: &[u8]) {
+        self.0.bytes(bs);
+        self.1.bytes(bs);
+    }
+    fn finish(self) -> u128 {
+        ((self.0 .0 as u128) << 64) | self.1 .0 as u128
+    }
+}
+
+fn hash_loc(h: &mut Fnv128, loc: &Loc) {
+    match loc {
+        Loc::Private(l) => {
+            h.u64(0);
+            h.u64(*l);
+        }
+        Loc::SharedRo(l) => {
+            h.u64(1);
+            h.u64(*l);
+        }
+        Loc::SharedRw(l) => {
+            h.u64(2);
+            h.u64(*l);
+        }
+    }
+}
+
+fn hash_ord(h: &mut Fnv128, ord: &AccessOrd) {
+    h.u64(match ord {
+        AccessOrd::Plain => 0,
+        AccessOrd::Acquire => 1,
+        AccessOrd::Release => 2,
+    });
+}
+
+fn hash_instr(h: &mut Fnv128, instr: &Instr) {
+    match instr {
+        Instr::Nop => h.u64(0),
+        Instr::MovImm => h.u64(1),
+        Instr::Alu => h.u64(2),
+        Instr::CmpImm => h.u64(3),
+        Instr::CondBranch(m) => {
+            h.u64(4);
+            match m {
+                Mispredict::Never => h.u64(0),
+                Mispredict::Rate(r) => {
+                    h.u64(1);
+                    h.f64(*r);
+                }
+                Mispredict::Workload => h.u64(2),
+            }
+        }
+        Instr::StackPush => h.u64(5),
+        Instr::StackPop => h.u64(6),
+        Instr::Load { loc, ord } => {
+            h.u64(7);
+            hash_loc(h, loc);
+            hash_ord(h, ord);
+        }
+        Instr::Store { loc, ord } => {
+            h.u64(8);
+            hash_loc(h, loc);
+            hash_ord(h, ord);
+        }
+        Instr::Cas { loc, success_prob } => {
+            h.u64(9);
+            hash_loc(h, loc);
+            h.f64(*success_prob);
+        }
+        Instr::Fence(k) => {
+            h.u64(10);
+            h.u64(*k as u64);
+        }
+        Instr::CostLoop { iters, stack_spill } => {
+            h.u64(11);
+            h.u64(*iters);
+            h.u64(*stack_spill as u64);
+        }
+        Instr::Compute { cycles } => {
+            h.u64(12);
+            h.u64(*cycles as u64);
+        }
+    }
+}
+
+/// The content address of one simulation cell: a stable 128-bit hash of
+/// everything `Machine::run` depends on — architecture label, workload
+/// context, seed and the full instruction stream.
+pub fn job_key(job: &SimJob<'_>) -> u128 {
+    let mut h = Fnv128::new();
+    h.bytes(job.machine.spec().arch.label().as_bytes());
+    let ctx = &job.ctx;
+    h.bytes(ctx.name.as_bytes());
+    h.f64(ctx.bp_pressure);
+    h.f64(ctx.load_pressure);
+    h.f64(ctx.l1_miss_rate);
+    h.f64(ctx.dram_frac);
+    h.f64(ctx.noise_amp);
+    h.u64(job.seed);
+    h.u64(job.program.threads.len() as u64);
+    for thread in &job.program.threads {
+        h.u64(thread.len() as u64);
+        for instr in thread {
+            hash_instr(&mut h, instr);
+        }
+    }
+    h.finish()
+}
+
+/// A content-addressed simulation-result cache: an in-memory map with an
+/// optional append-only on-disk store shared across processes.
+pub struct SimCache {
+    mem: Mutex<HashMap<u128, f64>>,
+    disk: Option<PathBuf>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SimCache {
+    /// A purely in-memory cache.
+    pub fn in_memory() -> Self {
+        SimCache {
+            mem: Mutex::new(HashMap::new()),
+            disk: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache backed by `path`: existing entries are loaded eagerly and
+    /// new results are appended as they are produced. Unreadable lines are
+    /// skipped (a torn final line from a killed run is harmless).
+    pub fn with_disk(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let path = path.into();
+        let mut mem = HashMap::new();
+        if path.exists() {
+            for line in std::fs::read_to_string(&path)?.lines() {
+                if let Some((key, val)) = parse_line(line) {
+                    mem.insert(key, val);
+                }
+            }
+        } else if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        Ok(SimCache {
+            mem: Mutex::new(mem),
+            disk: Some(path),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// Look up a result.
+    pub fn get(&self, key: u128) -> Option<f64> {
+        let found = self.mem.lock().expect("cache poisoned").get(&key).copied();
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Store a result (and append it to the disk store, if any).
+    pub fn put(&self, key: u128, value: f64) {
+        let mut mem = self.mem.lock().expect("cache poisoned");
+        if mem.insert(key, value).is_none() {
+            if let Some(path) = &self.disk {
+                if let Ok(mut f) = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                {
+                    let _ = writeln!(f, "{key:032x} {:016x}", value.to_bits());
+                }
+            }
+        }
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.mem.lock().expect("cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookup count that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookup count that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// The backing file, if this cache persists to disk.
+    pub fn disk_path(&self) -> Option<&Path> {
+        self.disk.as_deref()
+    }
+}
+
+fn parse_line(line: &str) -> Option<(u128, f64)> {
+    let (key, val) = line.split_once(' ')?;
+    Some((
+        u128::from_str_radix(key, 16).ok()?,
+        f64::from_bits(u64::from_str_radix(val, 16).ok()?),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmm_sim::arch::armv8_xgene1;
+    use wmm_sim::machine::{Program, WorkloadCtx};
+    use wmm_sim::Machine;
+
+    fn job(machine: &Machine, cycles: u32, seed: u64) -> SimJob<'_> {
+        SimJob {
+            machine,
+            program: Program::new(vec![vec![Instr::Compute { cycles }]]),
+            ctx: WorkloadCtx::default(),
+            seed,
+        }
+    }
+
+    #[test]
+    fn key_is_stable_and_input_sensitive() {
+        let machine = Machine::new(armv8_xgene1());
+        let a = job_key(&job(&machine, 100, 7));
+        assert_eq!(a, job_key(&job(&machine, 100, 7)), "stable");
+        assert_ne!(a, job_key(&job(&machine, 101, 7)), "program-sensitive");
+        assert_ne!(a, job_key(&job(&machine, 100, 8)), "seed-sensitive");
+        let mut noisy = job(&machine, 100, 7);
+        noisy.ctx.noise_amp = 0.5;
+        assert_ne!(a, job_key(&noisy), "ctx-sensitive");
+    }
+
+    #[test]
+    fn instr_encoding_distinguishes_variants() {
+        let machine = Machine::new(armv8_xgene1());
+        let mk = |instr: Instr| SimJob {
+            machine: &machine,
+            program: Program::new(vec![vec![instr]]),
+            ctx: WorkloadCtx::default(),
+            seed: 0,
+        };
+        let keys: Vec<u128> = [
+            Instr::Nop,
+            Instr::StackPush,
+            Instr::Load {
+                loc: Loc::Private(0),
+                ord: AccessOrd::Plain,
+            },
+            Instr::Load {
+                loc: Loc::SharedRw(0),
+                ord: AccessOrd::Plain,
+            },
+            Instr::Load {
+                loc: Loc::Private(0),
+                ord: AccessOrd::Acquire,
+            },
+            Instr::Store {
+                loc: Loc::Private(0),
+                ord: AccessOrd::Plain,
+            },
+        ]
+        .into_iter()
+        .map(|i| job_key(&mk(i)))
+        .collect();
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn memory_cache_round_trips() {
+        let cache = SimCache::in_memory();
+        assert_eq!(cache.get(42), None);
+        cache.put(42, 1.5);
+        assert_eq!(cache.get(42), Some(1.5));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn disk_cache_persists_bit_exact() {
+        let dir = std::env::temp_dir().join("wmm-harness-cache-test");
+        let path = dir.join("sim.cache");
+        let _ = std::fs::remove_file(&path);
+        let value = 1234.000_000_001_f64;
+        {
+            let cache = SimCache::with_disk(&path).unwrap();
+            cache.put(7, value);
+            cache.put(u128::MAX, -0.0);
+        }
+        let cache = SimCache::with_disk(&path).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(7).map(f64::to_bits), Some(value.to_bits()));
+        assert_eq!(
+            cache.get(u128::MAX).map(f64::to_bits),
+            Some((-0.0f64).to_bits())
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

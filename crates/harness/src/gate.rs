@@ -1,0 +1,206 @@
+//! The regression gate: diff a run manifest against a committed baseline.
+//!
+//! The gate compares canonical manifest content only — fitted
+//! sensitivities and per-cell measurements — and fails when any value
+//! drifts beyond its relative tolerance, when a baseline entry disappears,
+//! or when the campaigns/architectures do not match. Telemetry is never
+//! gated: timings and hit rates legitimately vary run to run.
+
+use crate::artifact::RunManifest;
+
+/// Gate tolerances. Relative drift is `|new - old| / max(|old|, eps)`.
+#[derive(Debug, Clone, Copy)]
+pub struct GateConfig {
+    /// Maximum relative drift of a fitted `k`.
+    pub k_rel_tol: f64,
+    /// Maximum relative drift of a measurement cell.
+    pub cell_rel_tol: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        // Fitted ks move more than individual cells under legitimate noise
+        // (the fit amplifies tail points), so they get the wider band.
+        GateConfig {
+            k_rel_tol: 0.10,
+            cell_rel_tol: 0.05,
+        }
+    }
+}
+
+/// The gate verdict: every out-of-tolerance or structural difference found.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    /// Human-readable failure descriptions; empty means the gate passes.
+    pub failures: Vec<String>,
+    /// Number of values compared.
+    pub checked: usize,
+}
+
+impl GateReport {
+    /// Whether the manifest is within tolerance of the baseline.
+    pub fn pass(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+fn rel_drift(old: f64, new: f64) -> f64 {
+    (new - old).abs() / old.abs().max(1e-12)
+}
+
+/// Compare `current` against `baseline` under `cfg`.
+pub fn compare(baseline: &RunManifest, current: &RunManifest, cfg: GateConfig) -> GateReport {
+    let mut report = GateReport::default();
+    let mut fail = |msg: String| report.failures.push(msg);
+
+    if baseline.campaign != current.campaign {
+        fail(format!(
+            "campaign mismatch: baseline `{}` vs current `{}`",
+            baseline.campaign, current.campaign
+        ));
+    }
+    if baseline.arch != current.arch {
+        fail(format!(
+            "arch mismatch: baseline `{}` vs current `{}`",
+            baseline.arch, current.arch
+        ));
+    }
+
+    let mut checked = 0usize;
+    for bf in &baseline.fits {
+        match current.fits.iter().find(|f| f.label == bf.label) {
+            None => fail(format!("fit `{}` missing from current run", bf.label)),
+            Some(cf) => {
+                checked += 1;
+                let drift = rel_drift(bf.k, cf.k);
+                if drift > cfg.k_rel_tol {
+                    fail(format!(
+                        "fit `{}`: k drifted {:.1}% (baseline {:.6e}, current {:.6e}, tolerance {:.1}%)",
+                        bf.label,
+                        100.0 * drift,
+                        bf.k,
+                        cf.k,
+                        100.0 * cfg.k_rel_tol
+                    ));
+                }
+            }
+        }
+    }
+    for bc in &baseline.cells {
+        match current.cells.iter().find(|c| c.label == bc.label) {
+            None => fail(format!("cell `{}` missing from current run", bc.label)),
+            Some(cc) => {
+                checked += 1;
+                let drift = rel_drift(bc.value, cc.value);
+                if drift > cfg.cell_rel_tol {
+                    fail(format!(
+                        "cell `{}`: value drifted {:.1}% (baseline {:.6}, current {:.6}, tolerance {:.1}%)",
+                        bc.label,
+                        100.0 * drift,
+                        bc.value,
+                        cc.value,
+                        100.0 * cfg.cell_rel_tol
+                    ));
+                }
+            }
+        }
+    }
+    for cf in &current.fits {
+        if !baseline.fits.iter().any(|f| f.label == cf.label) {
+            fail(format!(
+                "fit `{}` absent from baseline (refresh the baseline manifest)",
+                cf.label
+            ));
+        }
+    }
+    for cc in &current.cells {
+        if !baseline.cells.iter().any(|c| c.label == cc.label) {
+            fail(format!(
+                "cell `{}` absent from baseline (refresh the baseline manifest)",
+                cc.label
+            ));
+        }
+    }
+
+    report.checked = checked;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmmbench::model::SensitivityFit;
+
+    fn manifest(k: f64, cell: f64) -> RunManifest {
+        let mut m = RunManifest::new("gate_test", "arm");
+        m.push_fit(
+            "spark",
+            &SensitivityFit {
+                k,
+                k_std_err: 1e-4,
+                r_squared: 0.99,
+            },
+        );
+        m.push_cell("spark/a=16", cell);
+        m
+    }
+
+    #[test]
+    fn identical_manifests_pass() {
+        let r = compare(
+            &manifest(0.01, 0.9),
+            &manifest(0.01, 0.9),
+            GateConfig::default(),
+        );
+        assert!(r.pass(), "{:?}", r.failures);
+        assert_eq!(r.checked, 2);
+    }
+
+    #[test]
+    fn drift_within_tolerance_passes() {
+        let r = compare(
+            &manifest(0.01, 0.9),
+            &manifest(0.0105, 0.91),
+            GateConfig::default(),
+        );
+        assert!(r.pass(), "{:?}", r.failures);
+    }
+
+    #[test]
+    fn k_drift_beyond_tolerance_fails() {
+        let r = compare(
+            &manifest(0.01, 0.9),
+            &manifest(0.013, 0.9),
+            GateConfig::default(),
+        );
+        assert!(!r.pass());
+        assert!(r.failures[0].contains("k drifted"), "{:?}", r.failures);
+    }
+
+    #[test]
+    fn cell_drift_beyond_tolerance_fails() {
+        let r = compare(
+            &manifest(0.01, 0.9),
+            &manifest(0.01, 0.8),
+            GateConfig::default(),
+        );
+        assert!(!r.pass());
+    }
+
+    #[test]
+    fn structural_differences_fail() {
+        let baseline = manifest(0.01, 0.9);
+        let mut current = manifest(0.01, 0.9);
+        current.fits.clear();
+        let r = compare(&baseline, &current, GateConfig::default());
+        assert!(r.failures.iter().any(|f| f.contains("missing")));
+
+        let mut extra = manifest(0.01, 0.9);
+        extra.push_cell("new/cell", 1.0);
+        let r = compare(&baseline, &extra, GateConfig::default());
+        assert!(r
+            .failures
+            .iter()
+            .any(|f| f.contains("absent from baseline")));
+    }
+}

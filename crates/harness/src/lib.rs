@@ -1,0 +1,35 @@
+//! # wmm-harness
+//!
+//! The execution layer for experiment campaigns: everything `wmmbench`
+//! expresses as a batch of independent simulation cells (sweeps, ranking
+//! matrices, turnkey evaluations) runs through this crate's
+//! [`ParallelExecutor`], which adds — without changing a single output
+//! byte — three things the methodology crate deliberately stays out of:
+//!
+//! 1. **Parallelism** ([`scheduler`]): a keyed job queue drained by scoped
+//!    worker threads. Results are collected by job index, so experiment
+//!    output is bit-identical regardless of worker count. Worker count
+//!    comes from `--threads`, the `WMM_THREADS` environment variable, or
+//!    the machine's available parallelism.
+//! 2. **Result caching** ([`cache`]): simulations are deterministic in
+//!    `(arch, program, ctx, seed)`, so results are content-addressed by a
+//!    stable hash of exactly those inputs, with an in-memory map and an
+//!    optional append-only on-disk store.
+//! 3. **Run artifacts and gating** ([`artifact`], [`gate`]): each campaign
+//!    writes a schema-versioned JSON manifest (per-cell measurements,
+//!    fitted sensitivities, timings, cache hit rate) under `results/runs/`,
+//!    and the `bench_gate` binary diffs a manifest against a committed
+//!    baseline, failing on out-of-tolerance drift.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod cache;
+pub mod gate;
+pub mod scheduler;
+
+pub use artifact::{CellRecord, FitRecord, RunManifest, Telemetry, SCHEMA_VERSION};
+pub use cache::{job_key, SimCache};
+pub use gate::{compare, GateConfig, GateReport};
+pub use scheduler::{resolve_threads, run_keyed, ParallelExecutor};

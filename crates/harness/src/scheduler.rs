@@ -1,0 +1,295 @@
+//! The deterministic parallel scheduler.
+//!
+//! A batch of independent jobs is drained by `std::thread::scope` workers
+//! claiming indices off a shared atomic counter; each result is recorded
+//! under the index (the *key*) of the job that produced it, and the batch
+//! returns results in job order. Because every job is deterministic in its
+//! own inputs and keys restore submission order, the output of a batch is
+//! bit-identical whether it ran on one worker or sixteen.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use wmmbench::exec::{Executor, SimJob};
+
+use crate::cache::{job_key, SimCache};
+
+/// Resolve the worker-thread count: an explicit request wins, then the
+/// `WMM_THREADS` environment variable, then the machine's available
+/// parallelism. A resolved count is always at least 1.
+pub fn resolve_threads(requested: Option<usize>) -> usize {
+    let n = requested
+        .or_else(|| {
+            std::env::var("WMM_THREADS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    n.max(1)
+}
+
+/// Run `f` over every item, on up to `threads` scoped workers, and return
+/// the results **in item order** — the keyed-queue primitive underneath
+/// [`ParallelExecutor`].
+///
+/// Workers claim item indices from a shared counter and push `(index,
+/// result)` pairs; the pairs are re-keyed into submission order before
+/// returning, so the caller cannot observe scheduling.
+pub fn run_keyed<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let keyed: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    break;
+                }
+                let result = f(&items[idx]);
+                keyed
+                    .lock()
+                    .expect("collector poisoned")
+                    .push((idx, result));
+            });
+        }
+    });
+    let mut keyed = keyed.into_inner().expect("collector poisoned");
+    keyed.sort_by_key(|(idx, _)| *idx);
+    debug_assert_eq!(keyed.len(), n);
+    keyed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Aggregate counters across every batch an executor has run.
+#[derive(Debug, Default)]
+struct Counters {
+    batches: AtomicU64,
+    jobs: AtomicU64,
+    sim_ns: AtomicU64,
+    wall_ns: AtomicU64,
+}
+
+/// The parallel, caching [`Executor`].
+///
+/// Wraps the scheduler around an optional content-addressed [`SimCache`]:
+/// each batch first resolves cache hits on the calling thread, fans the
+/// misses out across workers, then stores the fresh results. Per-job wall
+/// time, queue depth and batch counts are tracked for the campaign summary
+/// and the run manifest's telemetry section.
+pub struct ParallelExecutor {
+    threads: usize,
+    cache: Option<SimCache>,
+    progress: bool,
+    counters: Counters,
+}
+
+impl ParallelExecutor {
+    /// An executor with `threads` workers (see [`resolve_threads`]) and no
+    /// cache.
+    pub fn new(threads: Option<usize>) -> Self {
+        ParallelExecutor {
+            threads: resolve_threads(threads),
+            cache: None,
+            progress: false,
+            counters: Counters::default(),
+        }
+    }
+
+    /// Attach a result cache.
+    pub fn with_cache(mut self, cache: SimCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Enable progress/ETA lines on stderr for long batches.
+    pub fn with_progress(mut self, progress: bool) -> Self {
+        self.progress = progress;
+        self
+    }
+
+    /// The resolved worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The attached cache, if any.
+    pub fn cache(&self) -> Option<&SimCache> {
+        self.cache.as_ref()
+    }
+
+    /// Telemetry snapshot for the campaign so far.
+    pub fn telemetry(&self) -> crate::artifact::Telemetry {
+        let (hits, misses) = self
+            .cache
+            .as_ref()
+            .map(|c| (c.hits(), c.misses()))
+            .unwrap_or((0, 0));
+        crate::artifact::Telemetry {
+            threads: self.threads,
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            jobs: self.counters.jobs.load(Ordering::Relaxed),
+            cache_hits: hits,
+            cache_misses: misses,
+            sim_ms: self.counters.sim_ns.load(Ordering::Relaxed) as f64 / 1e6,
+            wall_ms: self.counters.wall_ns.load(Ordering::Relaxed) as f64 / 1e6,
+        }
+    }
+
+    /// One-line campaign summary (jobs, hit rate, speed-up proxy).
+    pub fn summary(&self) -> String {
+        let t = self.telemetry();
+        let hit_rate = if t.jobs > 0 {
+            t.cache_hits as f64 / t.jobs as f64
+        } else {
+            0.0
+        };
+        format!(
+            "{} jobs in {} batches on {} threads: {:.0} ms wall, {:.0} ms simulated, {:.0}% cache hits",
+            t.jobs,
+            t.batches,
+            t.threads,
+            t.wall_ms,
+            t.sim_ms,
+            100.0 * hit_rate
+        )
+    }
+}
+
+impl Executor for ParallelExecutor {
+    fn run_batch(&self, jobs: Vec<SimJob<'_>>) -> Vec<f64> {
+        let start = Instant::now();
+        let n = jobs.len();
+        let mut results = vec![0.0f64; n];
+
+        // Resolve cache hits up front (calling thread); collect miss slots.
+        let mut misses: Vec<usize> = Vec::with_capacity(n);
+        let keys: Option<Vec<u128>> = self.cache.as_ref().map(|cache| {
+            jobs.iter()
+                .enumerate()
+                .map(|(i, job)| {
+                    let key = job_key(job);
+                    match cache.get(key) {
+                        Some(t) => results[i] = t,
+                        None => misses.push(i),
+                    }
+                    key
+                })
+                .collect()
+        });
+        if keys.is_none() {
+            misses = (0..n).collect();
+        }
+
+        // Fan the misses out across workers, observing progress.
+        let done = AtomicUsize::new(0);
+        let sim_ns = AtomicU64::new(0);
+        let total = misses.len();
+        let times = run_keyed(&misses, self.threads, |&slot| {
+            let t0 = Instant::now();
+            let t = jobs[slot].run();
+            sim_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+            if self.progress && (d.is_multiple_of(16) || d == total) {
+                let elapsed = start.elapsed().as_secs_f64();
+                let eta = elapsed / d as f64 * (total - d) as f64;
+                eprintln!(
+                    "[wmm-harness] {d}/{total} jobs ({} queued), {elapsed:.1}s elapsed, ETA {eta:.1}s",
+                    total - d
+                );
+            }
+            t
+        });
+        for (&slot, &t) in misses.iter().zip(&times) {
+            results[slot] = t;
+            if let (Some(cache), Some(keys)) = (&self.cache, &keys) {
+                cache.put(keys[slot], t);
+            }
+        }
+
+        self.counters.batches.fetch_add(1, Ordering::Relaxed);
+        self.counters.jobs.fetch_add(n as u64, Ordering::Relaxed);
+        self.counters
+            .sim_ns
+            .fetch_add(sim_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.counters
+            .wall_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmm_sim::arch::armv8_xgene1;
+    use wmm_sim::isa::Instr;
+    use wmm_sim::machine::{Program, WorkloadCtx};
+    use wmm_sim::Machine;
+    use wmmbench::exec::SerialExecutor;
+
+    fn jobs(machine: &Machine, n: usize) -> Vec<SimJob<'_>> {
+        (0..n)
+            .map(|i| SimJob {
+                machine,
+                program: Program::new(vec![vec![Instr::Compute {
+                    cycles: 100 + (i as u32 % 7) * 900,
+                }]]),
+                ctx: WorkloadCtx::default(),
+                seed: i as u64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn run_keyed_preserves_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 5, 16] {
+            assert_eq!(run_keyed(&items, threads, |x| x * x), serial);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let machine = Machine::new(armv8_xgene1());
+        let serial = SerialExecutor.run_batch(jobs(&machine, 37));
+        for threads in [1, 3, 8] {
+            let par = ParallelExecutor::new(Some(threads)).run_batch(jobs(&machine, 37));
+            assert_eq!(par, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn cached_executor_matches_and_hits() {
+        let machine = Machine::new(armv8_xgene1());
+        let exec = ParallelExecutor::new(Some(4)).with_cache(SimCache::in_memory());
+        let first = exec.run_batch(jobs(&machine, 20));
+        let second = exec.run_batch(jobs(&machine, 20));
+        assert_eq!(first, second);
+        let t = exec.telemetry();
+        assert_eq!(t.cache_hits, 20);
+        assert_eq!(t.cache_misses, 20);
+        assert_eq!(t.jobs, 40);
+        assert_eq!(t.batches, 2);
+    }
+
+    #[test]
+    fn thread_resolution_prefers_explicit() {
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert_eq!(resolve_threads(Some(0)), 1);
+        assert!(resolve_threads(None) >= 1);
+    }
+}

@@ -189,14 +189,12 @@ impl<'t> Explorer<'t> {
                         } else if release {
                             self.group_a(st, t, j)
                         } else {
-                            let barrier = (0..j)
-                                .rev()
-                                .find(|&i| {
-                                    matches!(
-                                        self.test.threads[t][i],
-                                        LOp::Fence(FClass::Full) | LOp::Fence(FClass::LwSync)
-                                    )
-                                });
+                            let barrier = (0..j).rev().find(|&i| {
+                                matches!(
+                                    self.test.threads[t][i],
+                                    LOp::Fence(FClass::Full) | LOp::Fence(FClass::LwSync)
+                                )
+                            });
                             match barrier {
                                 Some(b) => self.group_a(st, t, b),
                                 None => vec![],
@@ -251,7 +249,10 @@ pub fn explore(test: &LitmusTest, model: ModelKind) -> OutcomeSet {
     let nthreads = test.threads.len();
     assert!(nthreads <= 32, "thread count limited by bitmask width");
     for t in test.threads.iter() {
-        assert!(t.len() <= 32, "per-thread op count limited by bitmask width");
+        assert!(
+            t.len() <= 32,
+            "per-thread op count limited by bitmask width"
+        );
     }
     let regs: Vec<Vec<u32>> = test
         .threads
@@ -272,7 +273,11 @@ pub fn explore(test: &LitmusTest, model: ModelKind) -> OutcomeSet {
         executed: vec![0; nthreads],
         regs,
         stores: vec![],
-        touched: test.threads.iter().map(|ops| vec![None; ops.len()]).collect(),
+        touched: test
+            .threads
+            .iter()
+            .map(|ops| vec![None; ops.len()])
+            .collect(),
     };
     let mut ex = Explorer {
         test,
@@ -320,7 +325,12 @@ mod tests {
             store_deps: vec![],
             memory: vec![],
         };
-        for model in [ModelKind::Sc, ModelKind::Tso, ModelKind::ArmV8, ModelKind::Power] {
+        for model in [
+            ModelKind::Sc,
+            ModelKind::Tso,
+            ModelKind::ArmV8,
+            ModelKind::Power,
+        ] {
             let out = explore(&t, model);
             assert_eq!(out.len(), 1, "{model:?}");
             assert!(out.allows(&t.interesting), "{model:?}");
@@ -337,8 +347,14 @@ mod tests {
             store_deps: vec![],
             memory: vec![],
         };
-        assert!(!explore(&t, ModelKind::Sc).allows(&t.interesting), "SC forbids SB");
-        assert!(explore(&t, ModelKind::Tso).allows(&t.interesting), "TSO allows SB");
+        assert!(
+            !explore(&t, ModelKind::Sc).allows(&t.interesting),
+            "SC forbids SB"
+        );
+        assert!(
+            explore(&t, ModelKind::Tso).allows(&t.interesting),
+            "TSO allows SB"
+        );
         assert!(explore(&t, ModelKind::ArmV8).allows(&t.interesting));
         assert!(explore(&t, ModelKind::Power).allows(&t.interesting));
     }
@@ -355,7 +371,12 @@ mod tests {
             store_deps: vec![],
             memory: vec![],
         };
-        for model in [ModelKind::Sc, ModelKind::Tso, ModelKind::ArmV8, ModelKind::Power] {
+        for model in [
+            ModelKind::Sc,
+            ModelKind::Tso,
+            ModelKind::ArmV8,
+            ModelKind::Power,
+        ] {
             assert!(
                 !explore(&t, model).allows(&t.interesting),
                 "{model:?} must forbid SB+fences"
@@ -438,12 +459,7 @@ mod tests {
         };
         let t = LitmusTest {
             name: "IRIW+addrs".into(),
-            threads: vec![
-                vec![st(0, 1)],
-                vec![st(1, 1)],
-                reader(0, 1),
-                reader(1, 0),
-            ],
+            threads: vec![vec![st(0, 1)], vec![st(1, 1)], reader(0, 1), reader(1, 0)],
             interesting: vec![(2, 0, 1), (2, 1, 0), (3, 0, 1), (3, 1, 0)],
             store_deps: vec![],
             memory: vec![],
@@ -466,12 +482,7 @@ mod tests {
         };
         let t = LitmusTest {
             name: "IRIW+syncs".into(),
-            threads: vec![
-                vec![st(0, 1)],
-                vec![st(1, 1)],
-                reader(0, 1),
-                reader(1, 0),
-            ],
+            threads: vec![vec![st(0, 1)], vec![st(1, 1)], reader(0, 1), reader(1, 0)],
             interesting: vec![(2, 0, 1), (2, 1, 0), (3, 0, 1), (3, 1, 0)],
             store_deps: vec![],
             memory: vec![],
@@ -492,7 +503,12 @@ mod tests {
             store_deps: vec![],
             memory: vec![],
         };
-        for model in [ModelKind::Sc, ModelKind::Tso, ModelKind::ArmV8, ModelKind::Power] {
+        for model in [
+            ModelKind::Sc,
+            ModelKind::Tso,
+            ModelKind::ArmV8,
+            ModelKind::Power,
+        ] {
             assert!(
                 !explore(&t, model).allows(&t.interesting),
                 "{model:?} must preserve per-location coherence"

@@ -337,7 +337,10 @@ mod tests {
     fn fence_classes_cover_expected_pairs() {
         // (a_is_store, b_is_store)
         assert!(FClass::Full.covers(true, false));
-        assert!(!FClass::LwSync.covers(true, false), "lwsync leaves W->R open");
+        assert!(
+            !FClass::LwSync.covers(true, false),
+            "lwsync leaves W->R open"
+        );
         assert!(FClass::LwSync.covers(true, true));
         assert!(FClass::LwSync.covers(false, true));
         assert!(FClass::StSt.covers(true, true));

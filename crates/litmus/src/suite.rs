@@ -221,10 +221,7 @@ pub fn mp_rel_acq() -> SuiteEntry {
     SuiteEntry {
         test: test(
             "MP+rel+acq",
-            vec![
-                vec![st(0, 1), strel(1, 1)],
-                vec![ldacq(1, 0), ld(0, 1)],
-            ],
+            vec![vec![st(0, 1), strel(1, 1)], vec![ldacq(1, 0), ld(0, 1)]],
             vec![(1, 0, 1), (1, 1, 0)],
             vec![],
         ),
@@ -352,9 +349,8 @@ pub fn wrc_sync_addr() -> SuiteEntry {
 /// IRIW with address dependencies: the canonical non-MCA witness —
 /// observable on POWER only.
 pub fn iriw_addrs() -> SuiteEntry {
-    let reader = |first: usize, second: usize| {
-        vec![ld(first, 0), lddep(second, 1, 0, DepKind::Addr)]
-    };
+    let reader =
+        |first: usize, second: usize| vec![ld(first, 0), lddep(second, 1, 0, DepKind::Addr)];
     SuiteEntry {
         test: test(
             "IRIW+addrs",
@@ -385,9 +381,8 @@ pub fn iriw_syncs() -> SuiteEntry {
 /// IRIW with `lwsync`s: still observable on POWER — `lwsync` is not
 /// strong enough to restore write atomicity.
 pub fn iriw_lwsyncs() -> SuiteEntry {
-    let reader = |first: usize, second: usize| {
-        vec![ld(first, 0), LOp::Fence(FClass::LwSync), ld(second, 1)]
-    };
+    let reader =
+        |first: usize, second: usize| vec![ld(first, 0), LOp::Fence(FClass::LwSync), ld(second, 1)];
     SuiteEntry {
         test: test(
             "IRIW+lwsyncs",
@@ -420,10 +415,7 @@ pub fn s_shape() -> SuiteEntry {
     SuiteEntry {
         test: LitmusTest {
             name: "S".into(),
-            threads: vec![
-                vec![st(0, 2), st(1, 1)],
-                vec![ld(1, 0), st(0, 1)],
-            ],
+            threads: vec![vec![st(0, 2), st(1, 1)], vec![ld(1, 0), st(0, 1)]],
             interesting: vec![(1, 0, 1)],
             store_deps: vec![],
             memory: vec![(0, 2)],
@@ -456,10 +448,7 @@ pub fn two_plus_two_w() -> SuiteEntry {
     SuiteEntry {
         test: LitmusTest {
             name: "2+2W".into(),
-            threads: vec![
-                vec![st(0, 2), st(1, 1)],
-                vec![st(1, 2), st(0, 1)],
-            ],
+            threads: vec![vec![st(0, 2), st(1, 1)], vec![st(1, 2), st(0, 1)]],
             interesting: vec![],
             store_deps: vec![],
             memory: vec![(0, 2), (1, 2)],
@@ -552,11 +541,12 @@ mod tests {
     #[test]
     fn every_expectation_holds() {
         let rows = run_full_suite();
-        assert!(rows.len() >= 50, "suite should be substantial: {}", rows.len());
-        let failures: Vec<_> = rows
-            .iter()
-            .filter(|(_, _, exp, obs)| exp != obs)
-            .collect();
+        assert!(
+            rows.len() >= 50,
+            "suite should be substantial: {}",
+            rows.len()
+        );
+        let failures: Vec<_> = rows.iter().filter(|(_, _, exp, obs)| exp != obs).collect();
         assert!(
             failures.is_empty(),
             "litmus expectations violated: {failures:?}"

@@ -132,7 +132,11 @@ fn lower_thread(ops: &[JavaOp], cfg: &JitConfig) -> Vec<Segment<Combined>> {
     let arm_lock_dmb = cfg.arch == Arch::ArmV8 && !cfg.locking_patch;
     // See JitConfig::locking_patch: restructured lock paths with plain
     // barriers retry marginally more.
-    let cas_success = if cfg.locking_patch && !lasr { 0.20 } else { 0.95 };
+    let cas_success = if cfg.locking_patch && !lasr {
+        0.20
+    } else {
+        0.95
+    };
 
     for op in ops {
         match *op {
@@ -152,7 +156,11 @@ fn lower_thread(ops: &[JavaOp], cfg: &JitConfig) -> Vec<Segment<Combined>> {
                 });
                 // GC card-table mark: a byte store that must not overtake
                 // the reference store — a pure StoreStore site.
-                site(&mut segs, &mut code, Combined::only(crate::barrier::Elemental::StoreStore));
+                site(
+                    &mut segs,
+                    &mut code,
+                    Combined::only(crate::barrier::Elemental::StoreStore),
+                );
                 code.push(Instr::Store {
                     loc: Loc::SharedRo(0xCA4D ^ (loc.line() % 64)),
                     ord: AccessOrd::Plain,
@@ -396,7 +404,11 @@ mod tests {
     fn work_ops_merge_into_code_segments() {
         let cfg = JitConfig::jdk8(Arch::Power7);
         let segs = lower_thread(
-            &[JavaOp::Work(10), JavaOp::Work(20), JavaOp::FieldLoad(Loc::Private(1))],
+            &[
+                JavaOp::Work(10),
+                JavaOp::Work(20),
+                JavaOp::FieldLoad(Loc::Private(1)),
+            ],
             &cfg,
         );
         assert_eq!(segs.len(), 1, "adjacent plain ops coalesce: {segs:?}");

@@ -101,10 +101,7 @@ impl<S: FencingStrategy<Combined>> FencingStrategy<JvmPath> for OptAwareStrategy
 /// Lower Java operations with optimisation-site annotations: the regular
 /// barrier lowering, plus an `Opt` site before every operation each pass
 /// fires at.
-pub fn lower_with_optsites(
-    threads: &[Vec<JavaOp>],
-    cfg: &JitConfig,
-) -> Vec<Vec<Segment<JvmPath>>> {
+pub fn lower_with_optsites(threads: &[Vec<JavaOp>], cfg: &JitConfig) -> Vec<Vec<Segment<JvmPath>>> {
     threads
         .iter()
         .map(|ops| {
@@ -166,7 +163,9 @@ mod tests {
         }
         // Barrier sites still lower through the inner strategy.
         assert!(!s
-            .lower(&JvmPath::Barrier(crate::barrier::Composite::Volatile.combined()))
+            .lower(&JvmPath::Barrier(
+                crate::barrier::Composite::Volatile.combined()
+            ))
             .is_empty());
     }
 

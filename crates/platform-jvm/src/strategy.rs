@@ -171,7 +171,11 @@ mod tests {
     #[test]
     fn power_mapping_matches_paper() {
         let s = power_jdk9();
-        for e in [Elemental::LoadLoad, Elemental::LoadStore, Elemental::StoreStore] {
+        for e in [
+            Elemental::LoadLoad,
+            Elemental::LoadStore,
+            Elemental::StoreStore,
+        ] {
             assert_eq!(
                 s.lower(&Combined::only(e)),
                 vec![Instr::Fence(FenceKind::LwSync)],

@@ -172,7 +172,11 @@ mod tests {
     #[test]
     fn once_macros_are_compiler_only() {
         let s = default_arm_strategy();
-        for m in [KMacro::ReadOnce, KMacro::WriteOnce, KMacro::ReadBarrierDepends] {
+        for m in [
+            KMacro::ReadOnce,
+            KMacro::WriteOnce,
+            KMacro::ReadBarrierDepends,
+        ] {
             assert_eq!(
                 s.lower(&m),
                 vec![Instr::Fence(FenceKind::Compiler)],
@@ -197,7 +201,10 @@ mod tests {
     #[test]
     fn overrides_shadow_defaults() {
         let s = default_arm_strategy()
-            .with(KMacro::ReadBarrierDepends, vec![Instr::Fence(FenceKind::DmbIshLd)])
+            .with(
+                KMacro::ReadBarrierDepends,
+                vec![Instr::Fence(FenceKind::DmbIshLd)],
+            )
             .named("rbd=dmb ishld");
         assert_eq!(
             s.lower(&KMacro::ReadBarrierDepends),

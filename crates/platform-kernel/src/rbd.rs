@@ -138,13 +138,17 @@ mod tests {
         assert!(seq
             .iter()
             .any(|i| matches!(i, Instr::CondBranch(Mispredict::Workload))));
-        assert!(!seq.iter().any(|i| matches!(i, Instr::Fence(FenceKind::Isb))));
+        assert!(!seq
+            .iter()
+            .any(|i| matches!(i, Instr::Fence(FenceKind::Isb))));
     }
 
     #[test]
     fn ctrl_isb_adds_the_flush() {
         let seq = RbdStrategy::CtrlIsb.rbd_sequence();
-        assert!(seq.iter().any(|i| matches!(i, Instr::Fence(FenceKind::Isb))));
+        assert!(seq
+            .iter()
+            .any(|i| matches!(i, Instr::Fence(FenceKind::Isb))));
     }
 
     #[test]

@@ -168,9 +168,7 @@ impl Service {
         let mut out = vec![];
         let mut rng = SplitMix64::new(0);
         self.emit(&mut out, &mut rng);
-        out.iter()
-            .filter(|s| matches!(s, Segment::Site(_)))
-            .count()
+        out.iter().filter(|s| matches!(s, Segment::Site(_))).count()
     }
 }
 
@@ -205,10 +203,13 @@ mod tests {
         let tx = Service::NetTx.site_count();
         let rx = Service::NetRx.site_count();
         assert!(tx + rx >= 9, "tx={tx} rx={rx}");
-        assert!(sites_of(Service::NetRx)
-            .iter()
-            .filter(|m| **m == KMacro::ReadBarrierDepends)
-            .count() >= 2);
+        assert!(
+            sites_of(Service::NetRx)
+                .iter()
+                .filter(|m| **m == KMacro::ReadBarrierDepends)
+                .count()
+                >= 2
+        );
     }
 
     #[test]
@@ -224,7 +225,9 @@ mod tests {
         ] {
             let sites = sites_of(s);
             assert!(
-                !sites.iter().any(|m| matches!(m, KMacro::Mb | KMacro::Rmb | KMacro::Wmb)),
+                !sites
+                    .iter()
+                    .any(|m| matches!(m, KMacro::Mb | KMacro::Rmb | KMacro::Wmb)),
                 "{s:?} should not use mandatory barriers"
             );
         }

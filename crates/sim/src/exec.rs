@@ -145,14 +145,7 @@ impl CoreState {
                 let (mut cost, outcome) = if self.sbuf.forwards(self.clock, key) {
                     (spec.l1_hit * 0.5, AccessOutcome::L1Hit)
                 } else {
-                    mem.load(
-                        self.id,
-                        loc,
-                        spec,
-                        ctx.l1_miss_rate,
-                        ctx.dram_frac,
-                        rng,
-                    )
+                    mem.load(self.id, loc, spec, ctx.l1_miss_rate, ctx.dram_frac, rng)
                 };
                 counters.record_access(outcome);
                 if ord == AccessOrd::Acquire {

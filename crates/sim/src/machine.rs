@@ -122,9 +122,7 @@ impl Machine {
         let mut cores: Vec<CoreState> = (0..program.threads.len())
             .map(|id| CoreState::new(id, &self.spec))
             .collect();
-        let mut rngs: Vec<SplitMix64> = (0..program.threads.len())
-            .map(|_| root.split())
-            .collect();
+        let mut rngs: Vec<SplitMix64> = (0..program.threads.len()).map(|_| root.split()).collect();
         // Stagger thread start times slightly, as a real scheduler would.
         for (i, core) in cores.iter_mut().enumerate() {
             core.clock = (i as f64) * 20.0 + rngs[i].next_f64() * 10.0;
@@ -148,7 +146,14 @@ impl Machine {
                 .expect("live is non-empty");
             let core = &mut cores[idx];
             let instr = &program.threads[idx][core.pc];
-            core.step(instr, &self.spec, ctx, &mut mem, &mut rngs[idx], &mut counters);
+            core.step(
+                instr,
+                &self.spec,
+                ctx,
+                &mut mem,
+                &mut rngs[idx],
+                &mut counters,
+            );
             core.pc += 1;
             if core.pc >= program.threads[idx].len() {
                 live.swap_remove(slot);
@@ -161,10 +166,7 @@ impl Machine {
             sb_stall_cycles += core.sbuf.stall_cycles;
             sb_stalls += core.sbuf.stalls;
         }
-        let max_cycles = cores
-            .iter()
-            .map(|c| c.clock)
-            .fold(0.0_f64, f64::max);
+        let max_cycles = cores.iter().map(|c| c.clock).fold(0.0_f64, f64::max);
         ExecStats {
             wall_ns: self.spec.ns(max_cycles) * run_noise * smt_noise,
             core_cycles: cores.iter().map(|c| c.clock).collect(),

@@ -103,10 +103,8 @@ impl MemSys {
                         } else {
                             // Dirty remote: transfer, both end up sharing.
                             let prev = *owner;
-                            self.directory.insert(
-                                key,
-                                LineState::Shared((1 << prev) | (1 << core)),
-                            );
+                            self.directory
+                                .insert(key, LineState::Shared((1 << prev) | (1 << core)));
                             (spec.coherence_transfer, AccessOutcome::CoherenceTransfer)
                         }
                     }
@@ -164,10 +162,7 @@ impl MemSys {
             Some(LineState::Modified(owner)) if owner == core => {
                 (spec.l1_hit, AccessOutcome::L1Hit)
             }
-            Some(_) => (
-                spec.coherence_transfer,
-                AccessOutcome::CoherenceTransfer,
-            ),
+            Some(_) => (spec.coherence_transfer, AccessOutcome::CoherenceTransfer),
             None => (spec.llc_hit, AccessOutcome::LlcHit),
         }
     }

@@ -85,7 +85,11 @@ impl ExecStats {
 
     /// Total cycles spent stalled in fences of `kind`.
     pub fn fence_stall_cycles(&self, kind: FenceKind) -> f64 {
-        self.counters.fence_cycles.get(&kind).copied().unwrap_or(0.0)
+        self.counters
+            .fence_cycles
+            .get(&kind)
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// Mean cycles per fence of `kind`, if any executed.

@@ -99,12 +99,7 @@ where
     Ok(out)
 }
 
-fn jacobian<F>(
-    model: &F,
-    xs: &[f64],
-    params: &[f64],
-    fd_step: f64,
-) -> Result<Matrix, FitError>
+fn jacobian<F>(model: &F, xs: &[f64], params: &[f64], fd_step: f64) -> Result<Matrix, FitError>
 where
     F: Fn(f64, &[f64]) -> f64,
 {

@@ -29,7 +29,10 @@ impl Summary {
     /// sample is non-positive (performance figures are times or rates and the
     /// geometric mean requires positivity).
     pub fn of(samples: &[f64]) -> Self {
-        assert!(!samples.is_empty(), "Summary::of requires at least one sample");
+        assert!(
+            !samples.is_empty(),
+            "Summary::of requires at least one sample"
+        );
         let n = samples.len();
         let mut sum = 0.0;
         let mut log_sum = 0.0;

@@ -314,7 +314,9 @@ impl DacapoBench {
                 ops.push(JavaOp::FieldLoad(loc));
             }
             for i in 0..p.field_stores {
-                ops.push(JavaOp::FieldStore(Loc::Private(heap_base + 32 + i as u64 % 16)));
+                ops.push(JavaOp::FieldStore(Loc::Private(
+                    heap_base + 32 + i as u64 % 16,
+                )));
             }
             for _ in 0..frac(p.ref_stores, &mut rng) {
                 // Shuffle/output buffers are mostly thread-affine; a minority
@@ -330,11 +332,15 @@ impl DacapoBench {
             // while they are still draining (this is exactly when a `stlr`
             // and a `dmb; str` differ).
             for _ in 0..frac(p.vstores, &mut rng) {
-                ops.push(JavaOp::VolatileStore(Loc::SharedRw(0x9000 + rng.next_below(8))));
+                ops.push(JavaOp::VolatileStore(Loc::SharedRw(
+                    0x9000 + rng.next_below(8),
+                )));
             }
             ops.push(JavaOp::Work(w / 2));
             for _ in 0..frac(p.vloads, &mut rng) {
-                ops.push(JavaOp::VolatileLoad(Loc::SharedRw(0x9000 + rng.next_below(8))));
+                ops.push(JavaOp::VolatileLoad(Loc::SharedRw(
+                    0x9000 + rng.next_below(8),
+                )));
             }
             for _ in 0..frac(p.monitors, &mut rng) {
                 let lock = rng.next_below(4);
@@ -481,11 +487,7 @@ mod tests {
         let spark_d = density(spark);
         for b in &suite {
             if b.name() != "spark" {
-                assert!(
-                    density(b) < spark_d,
-                    "{} denser than spark",
-                    b.name()
-                );
+                assert!(density(b) < spark_d, "{} denser than spark", b.name());
             }
         }
     }

@@ -212,8 +212,7 @@ impl BenchSpec<KMacro> for KernelBench {
         let threads: Vec<Vec<Segment<KMacro>>> = (0..self.profile.threads)
             .map(|t| self.gen_thread(t, seed))
             .collect();
-        let work = (self.profile.requests as f64 * self.scale).ceil()
-            * self.profile.threads as f64;
+        let work = (self.profile.requests as f64 * self.scale).ceil() * self.profile.threads as f64;
         Image {
             threads,
             ctx: WorkloadCtx {
@@ -256,15 +255,27 @@ pub fn lmbench_subs(scale: f64) -> Vec<KernelBench> {
     };
     vec![
         sub("fcntl", 250, vec![(Syscall, 1.0)]),
-        sub("proc_exec", 2200, vec![(Syscall, 2.0), (PageAlloc, 3.0), (VfsRead, 2.0)]),
-        sub("proc_fork", 1800, vec![(Syscall, 1.0), (PageAlloc, 3.0), (SchedWakeup, 1.0)]),
+        sub(
+            "proc_exec",
+            2200,
+            vec![(Syscall, 2.0), (PageAlloc, 3.0), (VfsRead, 2.0)],
+        ),
+        sub(
+            "proc_fork",
+            1800,
+            vec![(Syscall, 1.0), (PageAlloc, 3.0), (SchedWakeup, 1.0)],
+        ),
         sub("select_100", 900, vec![(Syscall, 1.0), (VfsRead, 2.0)]),
         sub("sem", 300, vec![(Syscall, 1.0), (SchedWakeup, 1.0)]),
         sub("sig_catch", 450, vec![(Syscall, 1.0), (SchedWakeup, 0.5)]),
         sub("sig_install", 260, vec![(Syscall, 1.0)]),
         sub("syscall_fstat", 280, vec![(Syscall, 1.0), (VfsRead, 0.5)]),
         sub("syscall_null", 180, vec![(Syscall, 1.0)]),
-        sub("syscall_open", 500, vec![(Syscall, 1.0), (VfsRead, 1.0), (RcuRead, 1.0)]),
+        sub(
+            "syscall_open",
+            500,
+            vec![(Syscall, 1.0), (VfsRead, 1.0), (RcuRead, 1.0)],
+        ),
         sub("syscall_read", 350, vec![(Syscall, 1.0), (VfsRead, 1.0)]),
         sub("syscall_write", 350, vec![(Syscall, 1.0), (VfsRead, 0.5)]),
     ]

@@ -10,11 +10,11 @@ use wmm::wmm_jvm::barrier::all_site_combinations;
 use wmm::wmm_jvm::jit::{JitConfig, VolatileMode};
 use wmm::wmm_sim::arch::{armv8_xgene1, Arch};
 use wmm::wmm_sim::Machine;
+use wmm::wmm_stats::Comparison;
 use wmm::wmm_workloads::dacapo::{dacapo_suite, profile, DacapoBench};
 use wmm::wmmbench::image::{compute_envelope, Injection, SiteRewriter};
 use wmm::wmmbench::runner::{measure, RunConfig};
 use wmm::wmmbench::strategy::FencingStrategy;
-use wmm::wmm_stats::Comparison;
 
 fn main() {
     let machine = Machine::new(armv8_xgene1());

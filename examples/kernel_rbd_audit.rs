@@ -8,12 +8,12 @@ use wmm::wmm_kernel::macros::KMacro;
 use wmm::wmm_kernel::rbd::{rbd_strategy, RbdStrategy};
 use wmm::wmm_sim::arch::armv8_xgene1;
 use wmm::wmm_sim::Machine;
+use wmm::wmm_stats::Comparison;
 use wmm::wmm_workloads::kernel::{kernel_profile, KernelBench};
 use wmm::wmmbench::costfn::CostFunction;
 use wmm::wmmbench::image::{compute_envelope, Injection, SiteRewriter};
 use wmm::wmmbench::runner::{measure, RunConfig};
 use wmm::wmmbench::strategy::FencingStrategy;
-use wmm::wmm_stats::Comparison;
 
 fn main() {
     let machine = Machine::new(armv8_xgene1());

@@ -15,7 +15,10 @@ fn main() {
         ModelKind::ArmV8,
         ModelKind::Power,
     ];
-    println!("{:<20} {:>6} {:>6} {:>6} {:>6}   (weak outcome observable?)", "test", "SC", "TSO", "ARMv8", "POWER");
+    println!(
+        "{:<20} {:>6} {:>6} {:>6} {:>6}   (weak outcome observable?)",
+        "test", "SC", "TSO", "ARMv8", "POWER"
+    );
     for entry in full_suite() {
         print!("{:<20}", entry.test.name);
         for model in models {

@@ -37,8 +37,11 @@ fn main() {
 
     // 1. Calibrate the spin-loop cost function.
     let cal = Calibration::measure(&machine, true, 12);
-    println!("cost function: 1 iter = {:.1} ns, 1024 iters = {:.1} ns",
-             cal.ns_for_iters(1), cal.ns_for_iters(1024));
+    println!(
+        "cost function: 1 iter = {:.1} ns, 1024 iters = {:.1} ns",
+        cal.ns_for_iters(1),
+        cal.ns_for_iters(1024)
+    );
 
     // 2–3. Sweep and fit.
     let env = wmm_bench_envelope(&strategy);

@@ -15,9 +15,12 @@
 //! * [`wmm_kernel`] — Linux-kernel-like platform (barrier macros,
 //!   `read_barrier_depends` strategies).
 //! * [`wmm_workloads`] — DaCapo-, Spark- and kernel-suite-like workloads.
+//! * [`wmm_harness`] — parallel experiment engine: deterministic
+//!   scheduler, result cache, run manifests and the regression gate.
 //! * [`wmm_bench`] — experiment drivers regenerating every paper artefact.
 
 pub use wmm_bench;
+pub use wmm_harness;
 pub use wmm_jvm;
 pub use wmm_kernel;
 pub use wmm_litmus;

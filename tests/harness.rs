@@ -1,0 +1,253 @@
+//! Integration tests for the wmm-harness execution layer: parallel
+//! determinism (the headline contract — worker count never changes a byte
+//! of experiment output), result caching, run manifests and the regression
+//! gate.
+
+use proptest::prelude::*;
+
+use wmm::wmm_harness::{compare, job_key, GateConfig, ParallelExecutor, RunManifest, SimCache};
+use wmm::wmm_sim::arch::armv8_xgene1;
+use wmm::wmm_sim::isa::{FenceKind, Instr};
+use wmm::wmm_sim::machine::{Program, WorkloadCtx};
+use wmm::wmm_sim::Machine;
+use wmm::wmmbench::costfn::Calibration;
+use wmm::wmmbench::exec::{Executor, SerialExecutor, SimJob};
+use wmm::wmmbench::image::{compute_envelope, Image, Segment};
+use wmm::wmmbench::runner::{BenchSpec, RunConfig};
+use wmm::wmmbench::sensitivity::{pow2_targets, sweep_with, SweepResult, SweepTarget};
+use wmm::wmmbench::strategy::FnStrategy;
+
+// ---------------------------------------------------------------------------
+// A small synthetic campaign to drive the executor end to end
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Site;
+
+struct Synthetic {
+    sites: usize,
+}
+
+impl BenchSpec<Site> for Synthetic {
+    fn name(&self) -> &str {
+        "synthetic"
+    }
+    fn image(&self, seed: u64) -> Image<Site> {
+        let mut segs = vec![];
+        for i in 0..self.sites {
+            segs.push(Segment::Code(vec![Instr::Compute {
+                cycles: 500 + ((seed as u32).wrapping_add(i as u32) % 7) * 10,
+            }]));
+            segs.push(Segment::Site(Site));
+        }
+        Image {
+            threads: vec![segs],
+            ctx: WorkloadCtx::default(),
+            work_units: self.sites as f64,
+        }
+    }
+}
+
+/// One synthetic sweep through the given executor.
+fn campaign_sweep(exec: &dyn Executor) -> SweepResult {
+    let machine = Machine::new(armv8_xgene1());
+    let strategy = FnStrategy::new("dmb", |_: &Site| vec![Instr::Fence(FenceKind::DmbIsh)]);
+    let cal = Calibration::measure(&machine, false, 10);
+    let env = compute_envelope(&[Site], &[&strategy], 3);
+    sweep_with(
+        &machine,
+        &Synthetic { sites: 40 },
+        &strategy,
+        SweepTarget::AllSites,
+        &cal,
+        &pow2_targets(0, 8),
+        env,
+        RunConfig::quick(),
+        exec,
+    )
+}
+
+/// Manifest built from a sweep, as the fig binaries do.
+fn campaign_manifest(sweep: &SweepResult) -> RunManifest {
+    let mut m = RunManifest::new("harness_test_campaign", sweep.arch.clone());
+    if let Some(fit) = &sweep.fit {
+        m.push_fit(&sweep.benchmark, fit);
+    }
+    for p in &sweep.points {
+        m.push_cell(
+            format!("{}/a={:.2}", sweep.benchmark, p.actual_ns),
+            p.rel_perf,
+        );
+    }
+    m
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: worker count never changes a byte
+// ---------------------------------------------------------------------------
+
+#[test]
+fn manifests_are_byte_identical_across_thread_counts() {
+    let baseline = campaign_manifest(&campaign_sweep(&SerialExecutor));
+    let canonical = baseline.canonical_json().to_string_pretty();
+    assert!(!baseline.fits.is_empty(), "sweep must produce a fit");
+    for threads in [1, 2, 4, 8] {
+        let exec = ParallelExecutor::new(Some(threads));
+        let manifest = campaign_manifest(&campaign_sweep(&exec));
+        assert_eq!(
+            manifest.canonical_json().to_string_pretty(),
+            canonical,
+            "threads = {threads}"
+        );
+    }
+}
+
+#[test]
+fn fitted_k_is_bitwise_identical_across_thread_counts() {
+    let serial_k = campaign_sweep(&SerialExecutor).fit.expect("fit").k;
+    for threads in [1, 4] {
+        let exec = ParallelExecutor::new(Some(threads));
+        let k = campaign_sweep(&exec).fit.expect("fit").k;
+        assert_eq!(k.to_bits(), serial_k.to_bits(), "threads = {threads}");
+    }
+}
+
+#[test]
+fn warm_cache_changes_nothing() {
+    let exec = ParallelExecutor::new(Some(4)).with_cache(SimCache::in_memory());
+    let cold = campaign_manifest(&campaign_sweep(&exec));
+    let warm = campaign_manifest(&campaign_sweep(&exec));
+    assert_eq!(
+        cold.canonical_json().to_string_pretty(),
+        warm.canonical_json().to_string_pretty()
+    );
+    let t = exec.telemetry();
+    assert!(t.cache_hits > 0, "second campaign must hit the cache");
+    assert_eq!(t.cache_hits, t.cache_misses, "warm run is a full replay");
+}
+
+#[test]
+fn disk_cache_survives_processes_and_stays_exact() {
+    let dir = std::env::temp_dir().join("wmm-harness-it");
+    let path = dir.join("sim.cache");
+    let _ = std::fs::remove_file(&path);
+
+    let first = {
+        let exec = ParallelExecutor::new(Some(2)).with_cache(SimCache::with_disk(&path).unwrap());
+        campaign_manifest(&campaign_sweep(&exec))
+    };
+    // Fresh executor, reloaded cache: everything answered from disk.
+    let exec = ParallelExecutor::new(Some(2)).with_cache(SimCache::with_disk(&path).unwrap());
+    let second = campaign_manifest(&campaign_sweep(&exec));
+    assert_eq!(
+        first.canonical_json().to_string_pretty(),
+        second.canonical_json().to_string_pretty()
+    );
+    let t = exec.telemetry();
+    assert_eq!(t.cache_misses, 0, "reloaded cache must answer every job");
+    let _ = std::fs::remove_file(&path);
+}
+
+// ---------------------------------------------------------------------------
+// Gate: unmodified rerun passes, drift fails
+// ---------------------------------------------------------------------------
+
+#[test]
+fn gate_passes_unmodified_rerun_and_fails_drift() {
+    let exec = ParallelExecutor::new(Some(2));
+    let baseline = campaign_manifest(&campaign_sweep(&exec));
+    let rerun = campaign_manifest(&campaign_sweep(&exec));
+    let report = compare(&baseline, &rerun, GateConfig::default());
+    assert!(
+        report.pass(),
+        "identical rerun must pass: {:?}",
+        report.failures
+    );
+    assert!(report.checked > 0);
+
+    let mut drifted = rerun.clone();
+    drifted.fits[0].k *= 1.5;
+    let report = compare(&baseline, &drifted, GateConfig::default());
+    assert!(!report.pass(), "50% k drift must fail the gate");
+}
+
+#[test]
+fn manifest_roundtrips_through_disk() {
+    let exec = ParallelExecutor::new(Some(2));
+    let mut manifest = campaign_manifest(&campaign_sweep(&exec));
+    manifest.telemetry = Some(exec.telemetry());
+    let dir = std::env::temp_dir().join("wmm-harness-it-manifest");
+    let path = manifest.write(&dir).unwrap();
+    let back = RunManifest::load(&path).unwrap();
+    assert_eq!(back, manifest);
+    let _ = std::fs::remove_file(&path);
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: batch-level determinism and cache-key hygiene
+// ---------------------------------------------------------------------------
+
+fn mk_jobs<'m>(machine: &'m Machine, spec: &[(u32, u64)]) -> Vec<SimJob<'m>> {
+    spec.iter()
+        .map(|&(cycles, seed)| SimJob {
+            machine,
+            program: Program::new(vec![vec![
+                Instr::Compute {
+                    cycles: 100 + cycles,
+                },
+                Instr::Fence(FenceKind::DmbIsh),
+            ]]),
+            ctx: WorkloadCtx::default(),
+            seed,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any batch and any worker count, the parallel executor returns
+    /// exactly the serial executor's results, bit for bit.
+    #[test]
+    fn parallel_batches_match_serial(
+        spec in prop::collection::vec((0u32..5_000, 0u64..1_000), 1..40),
+        threads in 1usize..9,
+    ) {
+        let machine = Machine::new(armv8_xgene1());
+        let serial = SerialExecutor.run_batch(mk_jobs(&machine, &spec));
+        let par = ParallelExecutor::new(Some(threads)).run_batch(mk_jobs(&machine, &spec));
+        prop_assert_eq!(
+            par.iter().map(|t| t.to_bits()).collect::<Vec<_>>(),
+            serial.iter().map(|t| t.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    /// Caching a batch never changes its results, for any executor shape.
+    #[test]
+    fn cached_batches_match_uncached(
+        spec in prop::collection::vec((0u32..5_000, 0u64..1_000), 1..40),
+        threads in 1usize..9,
+    ) {
+        let machine = Machine::new(armv8_xgene1());
+        let uncached = ParallelExecutor::new(Some(threads)).run_batch(mk_jobs(&machine, &spec));
+        let exec = ParallelExecutor::new(Some(threads)).with_cache(SimCache::in_memory());
+        let cold = exec.run_batch(mk_jobs(&machine, &spec));
+        let warm = exec.run_batch(mk_jobs(&machine, &spec));
+        prop_assert_eq!(&cold, &uncached);
+        prop_assert_eq!(&warm, &uncached);
+    }
+
+    /// Cache keys separate distinct inputs and are stable for equal ones.
+    #[test]
+    fn cache_keys_respect_identity(
+        cycles in 0u32..10_000,
+        seed in 0u64..1_000_000,
+    ) {
+        let machine = Machine::new(armv8_xgene1());
+        let job = |c, s| mk_jobs(&machine, &[(c, s)]).remove(0);
+        let base = job_key(&job(cycles, seed));
+        prop_assert_eq!(base, job_key(&job(cycles, seed)));
+        prop_assert!(base != job_key(&job(cycles + 1, seed)));
+        prop_assert!(base != job_key(&job(cycles, seed + 1)));
+    }
+}

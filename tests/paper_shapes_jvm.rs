@@ -78,7 +78,10 @@ fn fig5_xalan_is_second_on_arm_but_degraded_on_power() {
     // POWER: xalan's sensitivity collapses and it is the least stable.
     let pow = fig5_openjdk_sweeps(Arch::Power7, cfg());
     let xalan_pow = pow.iter().find(|s| s.benchmark == "xalan").unwrap();
-    assert!(k(&pow, "xalan") < xalan_arm * 0.6, "xalan must degrade on POWER");
+    assert!(
+        k(&pow, "xalan") < xalan_arm * 0.6,
+        "xalan must degrade on POWER"
+    );
     let most_unstable = pow
         .iter()
         .max_by(|a, b| {
@@ -88,7 +91,8 @@ fn fig5_xalan_is_second_on_arm_but_degraded_on_power() {
         })
         .unwrap();
     assert_eq!(
-        most_unstable.benchmark, "xalan",
+        most_unstable.benchmark,
+        "xalan",
         "xalan should be the least stable POWER benchmark (got {} at {:.3})",
         most_unstable.benchmark,
         xalan_pow.mean_error_width()
@@ -108,7 +112,11 @@ fn fig6_storestore_dominates_spark_on_both_architectures() {
                 .unwrap_or(0.0)
         };
         let ss = k_of(Elemental::StoreStore);
-        for e in [Elemental::LoadLoad, Elemental::LoadStore, Elemental::StoreLoad] {
+        for e in [
+            Elemental::LoadLoad,
+            Elemental::LoadStore,
+            Elemental::StoreLoad,
+        ] {
             assert!(
                 k_of(e) < ss,
                 "{e:?} must be below StoreStore on {}",
@@ -195,16 +203,31 @@ fn nop_injection_costs_more_on_arm_than_power() {
     };
     let (m_arm, m_pow) = (mean(&arm), mean(&pow));
     assert!(m_arm < 0.0, "ARM nop injection must cost: {m_arm}%");
-    assert!(m_arm < m_pow, "ARM ({m_arm}%) should pay more than POWER ({m_pow}%)");
+    assert!(
+        m_arm < m_pow,
+        "ARM ({m_arm}%) should pay more than POWER ({m_pow}%)"
+    );
 }
 
 #[test]
 fn locking_patch_signs_match_the_paper() {
     let rows = locking_patch_experiment(cfg());
-    let get = |l: &str| rows.iter().find(|(n, _)| n == l).unwrap().1.percent_change();
+    let get = |l: &str| {
+        rows.iter()
+            .find(|(n, _)| n == l)
+            .unwrap()
+            .1
+            .percent_change()
+    };
     let lasr = get("la/sr");
     let barriers = get("barriers");
     assert!(lasr > 1.0, "patch should help with la/sr: {lasr}%");
-    assert!(barriers < 0.5, "patch should not help with barriers: {barriers}%");
-    assert!(lasr > barriers + 1.0, "la/sr gain must exceed barrier-mode outcome");
+    assert!(
+        barriers < 0.5,
+        "patch should not help with barriers: {barriers}%"
+    );
+    assert!(
+        lasr > barriers + 1.0,
+        "la/sr gain must exceed barrier-mode outcome"
+    );
 }

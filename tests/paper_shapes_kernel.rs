@@ -3,8 +3,8 @@
 //! comparison.
 
 use wmm::wmm_bench::{
-    fig10_rbd_strategies, fig9_rbd_sweeps, kernel_nop_overhead, linux_ranking,
-    rbd_cost_estimates, ExpConfig,
+    fig10_rbd_strategies, fig9_rbd_sweeps, kernel_nop_overhead, linux_ranking, rbd_cost_estimates,
+    ExpConfig,
 };
 use wmm::wmm_kernel::macros::KMacro;
 use wmm::wmm_kernel::rbd::RbdStrategy;
@@ -83,7 +83,11 @@ fn fig9_rbd_sensitivity_ordering() {
     assert!(k("ebizzy") > k("xalan"));
     assert!(k("xalan") >= k("osm_stack") * 0.8);
     // Bands from the paper.
-    assert!((0.006..0.014).contains(&k("netperf_udp")), "udp k {}", k("netperf_udp"));
+    assert!(
+        (0.006..0.014).contains(&k("netperf_udp")),
+        "udp k {}",
+        k("netperf_udp")
+    );
     assert!(k("osm_stack") < 0.001, "osm k {}", k("osm_stack"));
 }
 
@@ -104,7 +108,10 @@ fn fig10_isb_is_unreasonable_and_dmb_ishld_is_best_case() {
     );
     // "if ordering is required then dmb ishld or dmb ish represent the best
     // case scenarios."
-    assert!(ishld <= ish + 0.5, "ishld ({ishld}%) should not exceed ish ({ish}%)");
+    assert!(
+        ishld <= ish + 0.5,
+        "ishld ({ishld}%) should not exceed ish ({ish}%)"
+    );
     assert!(ishld < isb && ish < isb && ishld < lasr);
     // Base case is exactly zero against itself.
     let (_, base) = results
@@ -179,8 +186,7 @@ fn nop_padding_hurts_netperf_most() {
         "worst nop overhead should be netperf, got {}",
         worst.bench
     );
-    let mean =
-        rows.iter().map(|r| r.cmp.percent_change()).sum::<f64>() / rows.len() as f64;
+    let mean = rows.iter().map(|r| r.cmp.percent_change()).sum::<f64>() / rows.len() as f64;
     assert!(mean < -0.3 && mean > -4.0, "mean nop overhead {mean}%");
     // Insensitive benchmarks barely notice.
     let h2 = rows.iter().find(|r| r.bench == "h2").unwrap();

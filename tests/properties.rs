@@ -109,9 +109,18 @@ fn arb_instr() -> impl Strategy<Value = Instr> {
     prop_oneof![
         Just(Instr::Nop),
         Just(Instr::Alu),
-        (0u64..8).prop_map(|l| Instr::Load { loc: Loc::SharedRw(l), ord: AccessOrd::Plain }),
-        (0u64..8).prop_map(|l| Instr::Store { loc: Loc::SharedRw(l), ord: AccessOrd::Plain }),
-        (0u64..8).prop_map(|l| Instr::Load { loc: Loc::Private(l), ord: AccessOrd::Plain }),
+        (0u64..8).prop_map(|l| Instr::Load {
+            loc: Loc::SharedRw(l),
+            ord: AccessOrd::Plain
+        }),
+        (0u64..8).prop_map(|l| Instr::Store {
+            loc: Loc::SharedRw(l),
+            ord: AccessOrd::Plain
+        }),
+        (0u64..8).prop_map(|l| Instr::Load {
+            loc: Loc::Private(l),
+            ord: AccessOrd::Plain
+        }),
         Just(Instr::Fence(FenceKind::DmbIsh)),
         Just(Instr::Fence(FenceKind::DmbIshSt)),
         Just(Instr::Fence(FenceKind::DmbIshLd)),

@@ -16,11 +16,7 @@ use wmm::wmmbench::runner::BenchSpec;
 
 #[test]
 fn jvm_images_are_size_invariant_across_strategies_and_injection() {
-    let bench = DacapoBench::new(
-        profile("spark").unwrap(),
-        JitConfig::jdk8(Arch::ArmV8),
-        0.2,
-    );
+    let bench = DacapoBench::new(profile("spark").unwrap(), JitConfig::jdk8(Arch::ArmV8), 0.2);
     let image = bench.image(11);
     let env = jvm_envelope(Arch::ArmV8);
     let base = arm_jdk8_barriers();
