@@ -1,0 +1,327 @@
+//! The per-model protection check for one critical cycle.
+//!
+//! A cycle describes a weak-execution *scenario*: a claimed orientation of
+//! communication edges. The check builds a constraint graph over the
+//! events the operational explorer manipulates and asks whether the
+//! scenario's necessary orderings are contradictory:
+//!
+//! * `exec(a)` — the commit of access `a` (execution order; coherence
+//!   order for stores, exactly as in `wmm_litmus::explore`);
+//! * `prop(W, t)` — the propagation of store `W` to thread `t` (non-MCA
+//!   models only; on multi-copy-atomic models `prop ≡ exec`).
+//!
+//! Constraint edges are the *necessary* consequences of the scenario plus
+//! whatever ordering mechanisms the program supplies. If the constraint
+//! graph has a directed cycle, the scenario is impossible — the critical
+//! cycle is **protected**. Otherwise it is reported unprotected: for this
+//! explorer's models the constraints are tight enough that unprotected
+//! cycles are dynamically observable (the differential test in
+//! `tests/differential.rs` holds this over the whole litmus suite).
+//!
+//! Mechanism strengths mirror the explorer's semantics:
+//!
+//! * **Local** (orders `exec(a) < exec(b)`): model-implied order (SC: all
+//!   pairs; TSO: all but store→load; ARM/POWER: same location), an
+//!   address/data/control dependency that covers the pair, acquire on
+//!   `a`, release on `b`, a covering fence marker, and — `ARMv8` only — the
+//!   `RCsc` `stlr; ldar` pair.
+//! * **Cumulative** (POWER `lwsync`/`sync` before a store, or a release
+//!   store): the store may propagate to a thread only after the stores
+//!   its thread knew about have — `prop(s, u) < prop(b, u)`.
+//! * **Global** (POWER `sync`): the fence waits until its group-A stores
+//!   have propagated *everywhere* — `prop(s, u) < exec(b)`.
+
+use wmm_litmus::ops::{FClass, ModelKind};
+
+use crate::cycles::{CommKind, CriticalCycle};
+use crate::graph::{Access, ProgramGraph};
+
+/// Verdict for one cycle.
+#[derive(Debug, Clone)]
+pub struct CycleCheck {
+    /// Whether the scenario is impossible under the model.
+    pub protected: bool,
+    /// Program-order pairs `(entry, exit)` with no local ordering
+    /// mechanism — where a fence or dependency is missing.
+    pub uncut: Vec<(usize, usize)>,
+}
+
+/// Ordering strength present between a program-order pair.
+#[derive(Debug, Clone, Copy, Default)]
+struct PairCut {
+    local: bool,
+    cumulative: bool,
+    global: bool,
+}
+
+/// Does `class` order every role combination of `a` before `b`?
+fn covers_pair(class: FClass, a: &Access, b: &Access) -> bool {
+    a.roles()
+        .iter()
+        .all(|&ra| b.roles().iter().all(|&rb| class.covers(ra, rb)))
+}
+
+/// Model-implied ("bare") per-thread ordering, mirroring
+/// `LitmusTest::ordered`'s model arms.
+fn bare_ordered(model: ModelKind, a: &Access, b: &Access) -> bool {
+    match model {
+        ModelKind::Sc => true,
+        // TSO relaxes only pure-store → pure-load at different locations
+        // (RMWs are locked operations: fully ordered).
+        ModelKind::Tso => !(a.is_store && !a.is_load && b.is_load && !b.is_store && a.loc != b.loc),
+        ModelKind::ArmV8 | ModelKind::Power => a.loc == b.loc,
+    }
+}
+
+fn pair_cut(
+    g: &ProgramGraph,
+    model: ModelKind,
+    a_id: usize,
+    b_id: usize,
+    skip_fence: Option<usize>,
+) -> PairCut {
+    let (a, b) = (&g.accesses[a_id], &g.accesses[b_id]);
+    let fences: Vec<&crate::graph::FenceNode> = g
+        .fences_between(a_id, b_id)
+        .into_iter()
+        .filter(|&f| Some(f) != skip_fence)
+        .map(|f| &g.fences[f])
+        .collect();
+
+    let dep_orders = g
+        .dep_between(a_id, b_id)
+        .is_some_and(|k| k.orders(b.is_store));
+    // ARMv8 is RCsc: an acquire load never overtakes an earlier release
+    // store (`stlr; ldar` stay ordered) — what lets JDK9 drop the dmb
+    // between a volatile store and a following volatile load.
+    let rcsc = model == ModelKind::ArmV8 && a.is_store && a.release && b.is_load && b.acquire;
+
+    let local = bare_ordered(model, a, b)
+        || (a.is_load && a.acquire)
+        || (b.is_store && b.release)
+        || rcsc
+        || dep_orders
+        || fences.iter().any(|f| covers_pair(f.class, a, b));
+    let cumulative = b.is_store
+        && ((b.release)
+            || fences
+                .iter()
+                .any(|f| matches!(f.class, FClass::Full | FClass::LwSync)));
+    let global = fences.iter().any(|f| f.class == FClass::Full);
+    PairCut {
+        local,
+        cumulative,
+        global,
+    }
+}
+
+/// Kahn's algorithm: does the directed graph contain a cycle?
+fn has_cycle(n: usize, edges: &[(usize, usize)]) -> bool {
+    let mut adj = vec![vec![]; n];
+    let mut indeg = vec![0usize; n];
+    for &(u, v) in edges {
+        adj[u].push(v);
+        indeg[v] += 1;
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut removed = 0;
+    while let Some(u) = queue.pop() {
+        removed += 1;
+        for &v in &adj[u] {
+            indeg[v] -= 1;
+            if indeg[v] == 0 {
+                queue.push(v);
+            }
+        }
+    }
+    removed < n
+}
+
+/// Check one cycle under `model`.
+#[must_use]
+pub fn check_cycle(g: &ProgramGraph, model: ModelKind, cyc: &CriticalCycle) -> CycleCheck {
+    check_cycle_without(g, model, cyc, None)
+}
+
+/// Check one cycle with fence `skip_fence` (an index into
+/// [`ProgramGraph::fences`]) treated as absent — the redundancy probe.
+///
+/// # Panics
+///
+/// Panics if `cyc` references access ids outside `g` — cycles must come
+/// from [`critical_cycles`](crate::cycles::critical_cycles) on the same
+/// graph.
+#[must_use]
+pub fn check_cycle_without(
+    g: &ProgramGraph,
+    model: ModelKind,
+    cyc: &CriticalCycle,
+    skip_fence: Option<usize>,
+) -> CycleCheck {
+    let n = cyc.legs.len();
+    let mca = model.multi_copy_atomic();
+    let threads: Vec<usize> = cyc
+        .legs
+        .iter()
+        .map(|&(e, _)| g.accesses[e].thread)
+        .collect();
+
+    // exec nodes: the cycle's distinct accesses.
+    let mut nodes: Vec<usize> = vec![];
+    for &(e, x) in &cyc.legs {
+        nodes.push(e);
+        if x != e {
+            nodes.push(x);
+        }
+    }
+    let exec = |id: usize| nodes.iter().position(|&a| a == id).expect("cycle access");
+
+    // prop nodes: per cycle store × cycle thread (non-MCA only).
+    let mut node_count = nodes.len();
+    let mut prop_nodes: Vec<(usize, usize, usize)> = vec![]; // (store, thread, node)
+    if !mca {
+        for &a in &nodes {
+            if g.accesses[a].is_store {
+                for &u in &threads {
+                    if u != g.accesses[a].thread {
+                        prop_nodes.push((a, u, node_count));
+                        node_count += 1;
+                    }
+                }
+            }
+        }
+    }
+    let prop = |store: usize, u: usize| -> usize {
+        if mca || g.accesses[store].thread == u {
+            exec(store)
+        } else {
+            prop_nodes
+                .iter()
+                .find(|&&(s, t, _)| s == store && t == u)
+                .map(|&(_, _, node)| node)
+                .expect("prop node")
+        }
+    };
+
+    let mut edges: Vec<(usize, usize)> = vec![];
+    // A store is visible to a remote thread only after it commits.
+    for &(store, u, node) in &prop_nodes {
+        let _ = u;
+        edges.push((exec(store), node));
+    }
+
+    let mut uncut = vec![];
+    for i in 0..n {
+        let (entry, exit) = cyc.legs[i];
+        // Program-order leg.
+        if entry != exit {
+            let cut = pair_cut(g, model, entry, exit, skip_fence);
+            if cut.local {
+                edges.push((exec(entry), exec(exit)));
+            } else {
+                uncut.push((entry, exit));
+            }
+            if !mca {
+                // The store whose visibility the entry's thread "knows":
+                // the entry itself, or the store a load entry reads in this
+                // scenario (its incoming rf edge's source).
+                let prev_exit = cyc.legs[(i + n - 1) % n].1;
+                let s = if g.accesses[entry].is_store {
+                    entry
+                } else {
+                    prev_exit
+                };
+                if cut.cumulative {
+                    for &u in &threads {
+                        edges.push((prop(s, u), prop(exit, u)));
+                    }
+                }
+                if cut.global {
+                    for &u in &threads {
+                        edges.push((prop(s, u), exec(exit)));
+                    }
+                }
+            }
+        }
+        // Communication edge into the next leg.
+        let next = cyc.legs[(i + 1) % n].0;
+        match cyc.comms[i] {
+            // The reader saw the store: it propagated to the reader first.
+            CommKind::Rf => edges.push((prop(exit, g.accesses[next].thread), exec(next))),
+            // The reader missed the store: it reaches the reader later.
+            CommKind::Fr => edges.push((exec(exit), prop(next, g.accesses[exit].thread))),
+            // Coherence order is commit order.
+            CommKind::Co => edges.push((exec(exit), exec(next))),
+        }
+    }
+
+    CycleCheck {
+        protected: has_cycle(node_count, &edges),
+        uncut,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycles::critical_cycles;
+    use crate::graph::ProgramGraph;
+    use wmm_litmus::suite;
+    use ModelKind::{ArmV8, Power, Sc, Tso};
+
+    fn all_protected(entry: &suite::SuiteEntry, model: ModelKind) -> bool {
+        let g = ProgramGraph::from_litmus(&entry.test);
+        critical_cycles(&g)
+            .iter()
+            .all(|c| check_cycle(&g, model, c).protected)
+    }
+
+    #[test]
+    fn sb_protection_per_model() {
+        let e = suite::store_buffering();
+        assert!(all_protected(&e, Sc));
+        assert!(!all_protected(&e, Tso));
+        assert!(!all_protected(&e, ArmV8));
+        assert!(!all_protected(&e, Power));
+        let f = suite::sb_fences();
+        for m in [Sc, Tso, ArmV8, Power] {
+            assert!(all_protected(&f, m), "{m:?}");
+        }
+        // lwsync leaves store→load open.
+        assert!(!all_protected(&suite::sb_lwsyncs(), Power));
+    }
+
+    #[test]
+    fn cumulativity_split_on_power() {
+        // dmb ishst + addr: sound on MCA ARMv8, unsound on POWER.
+        let e = suite::mp_dmbst_addr();
+        assert!(all_protected(&e, ArmV8));
+        assert!(!all_protected(&e, Power));
+        // lwsync is cumulative: sound on POWER too.
+        assert!(all_protected(&suite::mp_lwsync_addr(), Power));
+    }
+
+    #[test]
+    fn iriw_needs_global_strength_on_power() {
+        assert!(!all_protected(&suite::iriw_addrs(), Power));
+        assert!(!all_protected(&suite::iriw_lwsyncs(), Power));
+        assert!(all_protected(&suite::iriw_syncs(), Power));
+        assert!(all_protected(&suite::iriw_addrs(), ArmV8));
+    }
+
+    #[test]
+    fn ctrl_dep_cuts_stores_not_loads() {
+        assert!(!all_protected(&suite::mp_dmbst_ctrl(), ArmV8));
+        assert!(all_protected(&suite::mp_dmbst_ctrlisb(), ArmV8));
+        assert!(all_protected(&suite::lb_deps(), Power));
+    }
+
+    #[test]
+    fn uncut_pairs_name_the_gap() {
+        let g = ProgramGraph::from_litmus(&suite::message_passing().test);
+        let cycles = critical_cycles(&g);
+        let check = check_cycle(&g, ArmV8, &cycles[0]);
+        assert!(!check.protected);
+        assert_eq!(check.uncut.len(), 2, "both MP pairs are unordered");
+    }
+}

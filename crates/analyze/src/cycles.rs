@@ -1,0 +1,246 @@
+//! Shasha–Snir critical-cycle enumeration.
+//!
+//! A critical cycle alternates program-order *legs* (at most two accesses
+//! per thread, the leg's entry program-before its exit, at different
+//! locations) with *communication* edges between conflicting accesses of
+//! different threads: write-to-read (`rf`), read-to-write (`fr`) and
+//! write-to-write (`co`). Every sequentially inconsistent execution
+//! contains one (Shasha & Snir 1988), so a program whose every critical
+//! cycle is cut by sufficient fences/dependencies is SC — the property
+//! "Don't sit on the fence" (Alglave et al.) checks statically and this
+//! module's caller checks per memory model.
+//!
+//! Programs here are litmus-sized, so a brute-force DFS over leg sequences
+//! is exact and fast. Each *orientation* of the communication edges is a
+//! distinct cycle (a distinct weak-execution scenario).
+
+use crate::graph::{Access, ProgramGraph};
+
+/// Communication edge kinds between conflicting accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommKind {
+    /// Write to read (reads-from): the read observes the write.
+    Rf,
+    /// Read to write (from-read): the read observed a coherence-earlier
+    /// write, so the write reaches the reader's thread only later.
+    Fr,
+    /// Write to write (coherence): the first write is coherence-earlier.
+    Co,
+}
+
+impl CommKind {
+    /// Short arrow label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            CommKind::Rf => "rf",
+            CommKind::Fr => "fr",
+            CommKind::Co => "co",
+        }
+    }
+
+    /// All communication kinds possible from `u` to `v`. Pure pairs admit
+    /// one kind; RMW endpoints admit several (each a distinct scenario).
+    #[must_use]
+    pub fn between(u: &Access, v: &Access) -> Vec<CommKind> {
+        if u.thread == v.thread || u.loc != v.loc || !u.shared || !v.shared {
+            return vec![];
+        }
+        let mut kinds = vec![];
+        if u.is_store && v.is_load {
+            kinds.push(CommKind::Rf);
+        }
+        if u.is_load && v.is_store {
+            kinds.push(CommKind::Fr);
+        }
+        if u.is_store && v.is_store {
+            kinds.push(CommKind::Co);
+        }
+        kinds
+    }
+}
+
+/// One critical cycle: per-thread legs `(entry, exit)` (access ids;
+/// `entry == exit` for single-access legs) and the communication edge
+/// leaving each leg's exit into the next leg's entry.
+#[derive(Debug, Clone)]
+pub struct CriticalCycle {
+    /// Legs in cycle order; threads are pairwise distinct.
+    pub legs: Vec<(usize, usize)>,
+    /// `comms[i]` connects `legs[i].1` to `legs[(i+1) % n].0`.
+    pub comms: Vec<CommKind>,
+}
+
+impl CriticalCycle {
+    /// Human-readable rendering, e.g.
+    /// `t0:Wx ->po t0:Wy ->rf t1:Ry ->po t1:Rx ->fr t0:Wx`.
+    #[must_use]
+    pub fn describe(&self, g: &ProgramGraph) -> String {
+        let mut parts = vec![];
+        for (i, &(entry, exit)) in self.legs.iter().enumerate() {
+            parts.push(g.describe(entry));
+            if entry != exit {
+                parts.push("->po".into());
+                parts.push(g.describe(exit));
+            }
+            parts.push(format!("->{}", self.comms[i].label()));
+        }
+        parts.push(g.describe(self.legs[0].0));
+        parts.join(" ")
+    }
+}
+
+/// Enumerate every critical cycle of `g`, once per rotation class (the
+/// leg sequence starts at the cycle's lowest-numbered thread).
+#[must_use]
+pub fn critical_cycles(g: &ProgramGraph) -> Vec<CriticalCycle> {
+    let mut out = vec![];
+    if g.threads.len() < 2 {
+        return out;
+    }
+    for t0 in 0..g.threads.len() {
+        for &e0 in &g.threads[t0] {
+            let mut legs = vec![];
+            let mut comms = vec![];
+            let mut used: u64 = 1 << t0;
+            extend(g, e0, e0, &mut legs, &mut comms, &mut used, &mut out);
+        }
+    }
+    out
+}
+
+/// Valid exits for a leg entered at `entry`: the entry itself, or a
+/// program-later access of the thread at a different location.
+fn exits_of(g: &ProgramGraph, entry: usize) -> Vec<usize> {
+    let e = &g.accesses[entry];
+    g.threads[e.thread]
+        .iter()
+        .copied()
+        .filter(|&x| {
+            let a = &g.accesses[x];
+            x == entry || (a.pos > e.pos && a.loc != e.loc)
+        })
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn extend(
+    g: &ProgramGraph,
+    e0: usize,
+    entry: usize,
+    legs: &mut Vec<(usize, usize)>,
+    comms: &mut Vec<CommKind>,
+    used: &mut u64,
+    out: &mut Vec<CriticalCycle>,
+) {
+    let t0 = g.accesses[e0].thread;
+    for exit in exits_of(g, entry) {
+        legs.push((entry, exit));
+        for (v, kind) in comm_targets(g, exit) {
+            let vt = g.accesses[v].thread;
+            if v == e0 {
+                comms.push(kind);
+                if legs.len() >= 2 && !degenerate(legs) {
+                    out.push(CriticalCycle {
+                        legs: legs.clone(),
+                        comms: comms.clone(),
+                    });
+                }
+                comms.pop();
+            } else if vt > t0 && *used & (1 << vt) == 0 {
+                comms.push(kind);
+                *used |= 1 << vt;
+                extend(g, e0, v, legs, comms, used, out);
+                *used &= !(1 << vt);
+                comms.pop();
+            }
+        }
+        legs.pop();
+    }
+}
+
+/// All `(target access, kind)` communication edges leaving `u`.
+fn comm_targets(g: &ProgramGraph, u: usize) -> Vec<(usize, CommKind)> {
+    let ua = &g.accesses[u];
+    let mut out = vec![];
+    for (v, va) in g.accesses.iter().enumerate() {
+        for kind in CommKind::between(ua, va) {
+            out.push((v, kind));
+        }
+    }
+    out
+}
+
+/// A two-leg cycle whose legs are both single accesses runs both its
+/// communication edges between the same pair — contradictory by
+/// construction (e.g. `rf` one way and `fr` back), never a real scenario.
+fn degenerate(legs: &[(usize, usize)]) -> bool {
+    legs.len() == 2 && legs[0].0 == legs[0].1 && legs[1].0 == legs[1].1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ProgramGraph;
+    use wmm_litmus::suite;
+
+    fn cycles_of(entry: &suite::SuiteEntry) -> (ProgramGraph, Vec<CriticalCycle>) {
+        let g = ProgramGraph::from_litmus(&entry.test);
+        let c = critical_cycles(&g);
+        (g, c)
+    }
+
+    #[test]
+    fn sb_has_exactly_one_cycle() {
+        let (g, c) = cycles_of(&suite::store_buffering());
+        assert_eq!(
+            c.len(),
+            1,
+            "{:?}",
+            c.iter().map(|x| x.describe(&g)).collect::<Vec<_>>()
+        );
+        let d = c[0].describe(&g);
+        assert!(d.contains("->fr"), "{d}");
+        assert!(!d.contains("->rf"), "{d}");
+    }
+
+    #[test]
+    fn mp_has_exactly_one_cycle() {
+        let (g, c) = cycles_of(&suite::message_passing());
+        assert_eq!(c.len(), 1);
+        let d = c[0].describe(&g);
+        assert!(d.contains("->rf") && d.contains("->fr"), "{d}");
+    }
+
+    #[test]
+    fn corr_and_coww_have_no_critical_cycles() {
+        // Same-location legs are uniproc territory: coherence handles them,
+        // no fence is ever needed, so no critical cycle exists.
+        let (_, c) = cycles_of(&suite::corr());
+        assert!(c.is_empty(), "{}", c.len());
+        let (_, c) = cycles_of(&suite::coww());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn iriw_cycle_spans_four_threads() {
+        let (_, c) = cycles_of(&suite::iriw_addrs());
+        assert!(!c.is_empty());
+        assert!(c.iter().any(|cy| cy.legs.len() == 4));
+        // Rotation dedup: every cycle starts at its lowest thread.
+        for cy in &c {
+            let (g, _) = cycles_of(&suite::iriw_addrs());
+            let t0 = g.accesses[cy.legs[0].0].thread;
+            assert!(cy.legs.iter().all(|&(e, _)| g.accesses[e].thread >= t0));
+        }
+    }
+
+    #[test]
+    fn fenced_variants_have_same_cycles_as_bare() {
+        // Fences sit between accesses; they do not change the cycle set,
+        // only whether cycles are protected.
+        let (_, bare) = cycles_of(&suite::store_buffering());
+        let (_, fenced) = cycles_of(&suite::sb_fences());
+        assert_eq!(bare.len(), fenced.len());
+    }
+}

@@ -1,0 +1,35 @@
+//! Static fence-placement analysis for the wmmbench workspace.
+//!
+//! The paper ("Benchmarking weak memory models") measures what a fencing
+//! strategy *costs*; this crate supplies the complementary static view of
+//! whether it is *correct*, following "Don't sit on the fence" (Alglave,
+//! Kroening, Nimal, Poetzl): a program needs a fence exactly where a
+//! Shasha–Snir critical cycle would otherwise admit a non-SC execution.
+//!
+//! Pipeline:
+//!
+//! 1. [`graph::ProgramGraph`] — the memory-access skeleton, built from a
+//!    litmus test or from platform-lowered instruction streams;
+//! 2. [`cycles::critical_cycles`] — every critical cycle, one per
+//!    communication-edge orientation;
+//! 3. [`check::check_cycle`] — the per-model protection check (a
+//!    constraint graph over `exec`/`prop` events mirroring the
+//!    operational explorer's semantics);
+//! 4. [`report::analyze`] — whole-program verdict: unprotected cycles as
+//!    errors, single-fence-removal-invariant fences as redundancy lints
+//!    with Eq. 1 / Eq. 2 savings estimates.
+//!
+//! The static verdict is cross-validated against the dynamic explorer in
+//! `tests/differential.rs`: for every litmus-suite entry and every model,
+//! "all cycles protected" must coincide with "the explorer cannot reach
+//! the weak outcome".
+
+pub mod check;
+pub mod cycles;
+pub mod graph;
+pub mod report;
+
+pub use check::{check_cycle, check_cycle_without, CycleCheck};
+pub use cycles::{critical_cycles, CommKind, CriticalCycle};
+pub use graph::{Access, FenceNode, ProgramGraph, StreamDep};
+pub use report::{analyze, Analysis, RedundantFence, UnprotectedCycle};

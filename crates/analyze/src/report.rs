@@ -1,0 +1,184 @@
+//! Whole-program analysis: protection verdict plus redundant-fence lints.
+
+use wmm_litmus::ops::ModelKind;
+use wmmbench::model::{estimate_cost, predicted_performance};
+
+use crate::check::{check_cycle, check_cycle_without};
+use crate::cycles::{critical_cycles, CriticalCycle};
+use crate::graph::ProgramGraph;
+
+/// An unprotected critical cycle: an execution the model allows that a
+/// fencing strategy presumably meant to forbid.
+#[derive(Debug, Clone)]
+pub struct UnprotectedCycle {
+    /// Rendering of the cycle (`t0:Wx ->po t0:Wy ->rf …`).
+    pub cycle: String,
+    /// The program-order pairs with no ordering mechanism — where a fence
+    /// or dependency is missing, as `(from, to)` descriptions.
+    pub missing: Vec<(String, String)>,
+}
+
+/// A fence whose removal changes no cycle's verdict under the model.
+#[derive(Debug, Clone)]
+pub struct RedundantFence {
+    /// Owning thread.
+    pub thread: usize,
+    /// Fence slot (between access positions `slot - 1` and `slot`).
+    pub slot: usize,
+    /// Mnemonic (`dmb ish`, `lwsync`, …).
+    pub mnemonic: String,
+    /// Whether the fence lies between some cycle's leg pair at all. A
+    /// fence off every cycle is dead weight; one *on* a cycle is covered
+    /// by another mechanism (doubled fences flag each other).
+    pub on_cycle: bool,
+    /// Estimated per-invocation saving (ns) if removed, when the caller
+    /// supplied a fence cost — the Eq. 1/Eq. 2 round-trip.
+    pub saving_ns: Option<f64>,
+    /// Estimated relative speedup (`1/p - 1`) at the given sensitivity.
+    pub speedup_frac: Option<f64>,
+}
+
+/// Full analysis of one program under one model.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Program name.
+    pub program: String,
+    /// Model checked.
+    pub model: ModelKind,
+    /// Number of critical cycles found.
+    pub cycles: usize,
+    /// Cycles the model can realise despite the program's fences.
+    pub unprotected: Vec<UnprotectedCycle>,
+    /// Fences that cut nothing the rest of the program doesn't already cut.
+    pub redundant: Vec<RedundantFence>,
+}
+
+impl Analysis {
+    /// No unprotected cycles: every weak-execution scenario is forbidden.
+    #[must_use]
+    pub fn protected(&self) -> bool {
+        self.unprotected.is_empty()
+    }
+
+    /// Attach Eq. 1 / Eq. 2 savings estimates to the redundant-fence lints:
+    /// `cost_ns(mnemonic)` is the measured per-fence cost and `k` the
+    /// workload's fence sensitivity. The predicted saving round-trips
+    /// through the performance model (Eq. 1 forward, Eq. 2 back), the
+    /// inversion the property test in `tests/properties.rs` guards.
+    #[must_use]
+    pub fn with_savings(mut self, k: f64, cost_ns: impl Fn(&str) -> f64) -> Self {
+        for lint in &mut self.redundant {
+            let a = cost_ns(&lint.mnemonic);
+            if a > 0.0 && k > 0.0 && k < 1.0 {
+                let p = predicted_performance(k, a);
+                lint.saving_ns = Some(estimate_cost(k, p));
+                lint.speedup_frac = Some(1.0 / p - 1.0);
+            }
+        }
+        self
+    }
+}
+
+/// Does fence `f` sit between the legs' entry and exit of `cyc`?
+fn fence_on_cycle(g: &ProgramGraph, f: usize, cyc: &CriticalCycle) -> bool {
+    let fence = &g.fences[f];
+    cyc.legs.iter().any(|&(entry, exit)| {
+        entry != exit
+            && g.accesses[entry].thread == fence.thread
+            && g.accesses[entry].pos < fence.slot
+            && fence.slot <= g.accesses[exit].pos
+    })
+}
+
+/// Analyse `g` under `model`: enumerate critical cycles, check each, and
+/// probe every fence for redundancy (removal flips no verdict).
+#[must_use]
+pub fn analyze(g: &ProgramGraph, model: ModelKind) -> Analysis {
+    let cycles = critical_cycles(g);
+    let verdicts: Vec<_> = cycles.iter().map(|c| check_cycle(g, model, c)).collect();
+
+    let unprotected = cycles
+        .iter()
+        .zip(&verdicts)
+        .filter(|(_, v)| !v.protected)
+        .map(|(c, v)| UnprotectedCycle {
+            cycle: c.describe(g),
+            missing: v
+                .uncut
+                .iter()
+                .map(|&(a, b)| (g.describe(a), g.describe(b)))
+                .collect(),
+        })
+        .collect();
+
+    let mut redundant = vec![];
+    for f in 0..g.fences.len() {
+        let same_verdicts = cycles
+            .iter()
+            .zip(&verdicts)
+            .all(|(c, v)| check_cycle_without(g, model, c, Some(f)).protected == v.protected);
+        if same_verdicts {
+            redundant.push(RedundantFence {
+                thread: g.fences[f].thread,
+                slot: g.fences[f].slot,
+                mnemonic: g.fences[f].mnemonic.clone(),
+                on_cycle: cycles.iter().any(|c| fence_on_cycle(g, f, c)),
+                saving_ns: None,
+                speedup_frac: None,
+            });
+        }
+    }
+
+    Analysis {
+        program: g.name.clone(),
+        model,
+        cycles: cycles.len(),
+        unprotected,
+        redundant,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmm_litmus::suite;
+    use ModelKind::{ArmV8, Power, Sc};
+
+    #[test]
+    fn fenced_sb_is_protected_with_no_lints() {
+        let g = ProgramGraph::from_litmus(&suite::sb_fences().test);
+        let a = analyze(&g, ArmV8);
+        assert!(a.protected());
+        assert!(a.redundant.is_empty(), "{:?}", a.redundant);
+    }
+
+    #[test]
+    fn bare_mp_reports_the_missing_pairs() {
+        let g = ProgramGraph::from_litmus(&suite::message_passing().test);
+        let a = analyze(&g, Power);
+        assert!(!a.protected());
+        assert_eq!(a.unprotected.len(), 1);
+        assert_eq!(a.unprotected[0].missing.len(), 2);
+    }
+
+    #[test]
+    fn fences_are_redundant_under_sc() {
+        // SC needs no fences at all: every marker is pure overhead there.
+        let g = ProgramGraph::from_litmus(&suite::mp_fences().test);
+        let a = analyze(&g, Sc);
+        assert!(a.protected());
+        assert_eq!(a.redundant.len(), 2);
+        assert!(a.redundant.iter().all(|r| r.on_cycle));
+    }
+
+    #[test]
+    fn savings_round_trip_through_eq2() {
+        let g = ProgramGraph::from_litmus(&suite::mp_fences().test);
+        let a = analyze(&g, Sc).with_savings(0.05, |_| 17.3);
+        for lint in &a.redundant {
+            let ns = lint.saving_ns.expect("cost supplied");
+            assert!((ns - 17.3).abs() < 1e-6, "{ns}");
+            assert!(lint.speedup_frac.unwrap() > 0.0);
+        }
+    }
+}

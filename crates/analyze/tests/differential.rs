@@ -1,0 +1,222 @@
+//! Differential validation: the static protection verdict must agree with
+//! the dynamic explorer over the entire litmus suite, for every model —
+//! "all critical cycles protected" ⇔ "the explorer cannot reach the weak
+//! outcome". Plus end-to-end strategy checks: a seeded known-buggy JVM
+//! strategy is caught, shipped strategies pass, and the redundant-fence
+//! lint fires on the defensive JDK8 ARM lowering.
+
+use wmm_analyze::{analyze, check_cycle, critical_cycles, ProgramGraph, StreamDep};
+use wmm_jvm::barrier::Composite;
+use wmm_jvm::jit::{lower, JavaOp, JitConfig};
+use wmm_jvm::strategy::arm_jdk8_barriers;
+use wmm_kernel::macros::KMacro;
+use wmm_kernel::rbd::{rbd_strategy, RbdStrategy};
+use wmm_litmus::explore::explore;
+use wmm_litmus::ops::ModelKind;
+use wmm_litmus::suite::full_suite;
+use wmm_sim::arch::Arch;
+use wmm_sim::isa::{AccessOrd, FenceKind, Instr, Loc};
+use wmmbench::image::flatten_streams;
+use wmmbench::strategy::FencingStrategy;
+
+const MODELS: [ModelKind; 4] = [
+    ModelKind::Sc,
+    ModelKind::Tso,
+    ModelKind::ArmV8,
+    ModelKind::Power,
+];
+
+/// The core cross-validation: static ⇔ dynamic for every suite entry under
+/// every model (not just the models with recorded expectations).
+#[test]
+fn static_verdict_agrees_with_explorer_across_the_suite() {
+    let mut rows = 0;
+    for entry in full_suite() {
+        let g = ProgramGraph::from_litmus(&entry.test);
+        let cycles = critical_cycles(&g);
+        for model in MODELS {
+            let protected = cycles.iter().all(|c| check_cycle(&g, model, c).protected);
+            let observed = explore(&entry.test, model)
+                .allows_with_memory(&entry.test.interesting, &entry.test.memory);
+            assert_eq!(
+                protected, !observed,
+                "{} under {model:?}: static protected={protected} but explorer \
+                 observes weak outcome={observed}",
+                entry.test.name
+            );
+            rows += 1;
+        }
+    }
+    assert!(rows >= 120, "differential should span the suite: {rows}");
+}
+
+// --- JVM strategies over lowered volatile idioms --------------------------
+
+/// Dekker-style mutual exclusion via volatile fields: the store→load
+/// ordering volatiles guarantee. The classic shape a too-weak volatile
+/// barrier breaks.
+fn volatile_sb() -> Vec<Vec<JavaOp>> {
+    let (x, y) = (Loc::SharedRw(1), Loc::SharedRw(2));
+    vec![
+        vec![JavaOp::VolatileStore(x), JavaOp::VolatileLoad(y)],
+        vec![JavaOp::VolatileStore(y), JavaOp::VolatileLoad(x)],
+    ]
+}
+
+#[test]
+fn shipped_jdk8_arm_strategy_protects_volatile_sb() {
+    let segs = lower(&volatile_sb(), &JitConfig::jdk8(Arch::ArmV8));
+    let streams = flatten_streams(&segs, &arm_jdk8_barriers());
+    let g = ProgramGraph::from_streams("jvm/volatile-SB/jdk8-arm", &streams, &[]);
+    let a = analyze(&g, ModelKind::ArmV8);
+    assert!(a.cycles > 0);
+    assert!(a.protected(), "{:?}", a.unprotected);
+}
+
+#[test]
+fn seeded_buggy_strategy_is_caught() {
+    // Known-buggy: lower the full Volatile barrier to dmb ishst, which
+    // cannot order a volatile store before a later volatile load.
+    let buggy = arm_jdk8_barriers()
+        .with_override(
+            Composite::Volatile.combined(),
+            vec![Instr::Fence(FenceKind::DmbIshSt)],
+        )
+        .named("jdk8-arm+volatile=dmb.ishst (seeded bug)");
+    let segs = lower(&volatile_sb(), &JitConfig::jdk8(Arch::ArmV8));
+    let streams = flatten_streams(&segs, &buggy);
+    let g = ProgramGraph::from_streams("jvm/volatile-SB/seeded-bug", &streams, &[]);
+    let a = analyze(&g, ModelKind::ArmV8);
+    assert!(
+        !a.protected(),
+        "the missing store→load fence must be caught"
+    );
+    assert!(
+        a.unprotected.iter().any(|u| !u.missing.is_empty()),
+        "the report should name the unordered pair"
+    );
+}
+
+#[test]
+fn jdk9_arm_ldar_stlr_needs_no_barriers() {
+    // JDK9 on ARMv8 emits stlr/ldar and *no* dmb at all; RCsc
+    // release/acquire keeps even Dekker correct.
+    let segs = lower(&volatile_sb(), &JitConfig::jdk9(Arch::ArmV8));
+    let streams = flatten_streams(&segs, &arm_jdk8_barriers());
+    let g = ProgramGraph::from_streams("jvm/volatile-SB/jdk9-arm", &streams, &[]);
+    assert!(g.fences.is_empty(), "no barrier sites in JDK9 ARM mode");
+    let a = analyze(&g, ModelKind::ArmV8);
+    assert!(a.cycles > 0);
+    assert!(a.protected(), "{:?}", a.unprotected);
+}
+
+#[test]
+fn redundant_fence_lint_fires_on_defensive_jdk8_arm_lowering() {
+    // JDK8 ARM brackets every volatile access with full dmbs: adjacent
+    // accesses end up double-fenced, and the leading/trailing barriers sit
+    // on no cycle at all. Every one of those is individually removable.
+    let segs = lower(&volatile_sb(), &JitConfig::jdk8(Arch::ArmV8));
+    let streams = flatten_streams(&segs, &arm_jdk8_barriers());
+    let g = ProgramGraph::from_streams("jvm/volatile-SB/jdk8-arm", &streams, &[]);
+    let a = analyze(&g, ModelKind::ArmV8).with_savings(0.05, |_| 17.3);
+    assert!(a.protected());
+    // Doubled dmbs between the store and the load: flagged, on a cycle.
+    assert!(
+        a.redundant.iter().any(|r| r.on_cycle),
+        "doubled barriers should lint: {:?}",
+        a.redundant
+    );
+    // Barriers before the first / after the last access: off every cycle.
+    assert!(
+        a.redundant.iter().any(|r| !r.on_cycle),
+        "leading/trailing barriers should lint: {:?}",
+        a.redundant
+    );
+    for lint in &a.redundant {
+        assert!(lint.saving_ns.is_some(), "savings attached via Eq. 2");
+    }
+}
+
+// --- kernel read_barrier_depends strategies -------------------------------
+
+/// The RCU-style publication idiom `read_barrier_depends` exists for:
+/// writer initialises data then publishes a pointer; reader loads the
+/// pointer, invokes `read_barrier_depends`, dereferences.
+fn rbd_publish(which: RbdStrategy) -> (Vec<Vec<Instr>>, Vec<StreamDep>) {
+    let s = rbd_strategy(which);
+    let (data, ptr) = (Loc::SharedRw(0xDA7A), Loc::SharedRw(0x97E));
+    let store = |loc| Instr::Store {
+        loc,
+        ord: AccessOrd::Plain,
+    };
+    let load = |loc| Instr::Load {
+        loc,
+        ord: AccessOrd::Plain,
+    };
+
+    let mut writer = s.lower(&KMacro::WriteOnce);
+    writer.push(store(data));
+    writer.extend(s.lower(&KMacro::SmpWmb));
+    writer.extend(s.lower(&KMacro::WriteOnce));
+    writer.push(store(ptr));
+
+    let mut reader = s.lower(&KMacro::ReadOnce);
+    let ptr_load = reader.len();
+    reader.push(load(ptr));
+    reader.extend(s.lower(&KMacro::ReadBarrierDepends));
+    reader.extend(s.lower(&KMacro::ReadOnce));
+    let data_load = reader.len();
+    reader.push(load(data));
+
+    let deps = which
+        .dep_kind()
+        .map(|kind| StreamDep {
+            thread: 1,
+            from: ptr_load,
+            to: data_load,
+            kind,
+        })
+        .into_iter()
+        .collect();
+    (vec![writer, reader], deps)
+}
+
+#[test]
+fn rbd_strategies_split_exactly_as_the_paper_says() {
+    // §4.3.1 / Fig. 10: the base case and a bare control dependency do not
+    // order the dependent load; ctrl+isb, dmb ishld, dmb ish and la/sr do.
+    let expect_protected = |w: RbdStrategy| !matches!(w, RbdStrategy::BaseCase | RbdStrategy::Ctrl);
+    for which in RbdStrategy::ALL {
+        let (streams, deps) = rbd_publish(which);
+        let g = ProgramGraph::from_streams(
+            format!("kernel/rbd-publish/{}", which.label()),
+            &streams,
+            &deps,
+        );
+        let a = analyze(&g, ModelKind::ArmV8);
+        assert!(a.cycles > 0, "{}", which.label());
+        assert_eq!(
+            a.protected(),
+            expect_protected(which),
+            "rbd={} verdict mismatch: {:?}",
+            which.label(),
+            a.unprotected
+        );
+    }
+}
+
+#[test]
+fn lasr_over_annotation_is_linted_redundant() {
+    // la/sr adds dmb ishld/ishst to every READ_ONCE/WRITE_ONCE on top of
+    // a read_barrier_depends that is already a dmb ishld — several of
+    // those fences are individually removable.
+    let (streams, deps) = rbd_publish(RbdStrategy::LaSr);
+    let g = ProgramGraph::from_streams("kernel/rbd-publish/la-sr", &streams, &deps);
+    let a = analyze(&g, ModelKind::ArmV8);
+    assert!(a.protected());
+    assert!(
+        !a.redundant.is_empty(),
+        "over-annotation should lint: {:?}",
+        a.redundant
+    );
+}

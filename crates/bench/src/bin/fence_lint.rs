@@ -1,0 +1,361 @@
+//! fence_lint — static fence-placement audit for every shipped strategy.
+//!
+//! Three sections, one run manifest (`results/runs/fence_lint.json`):
+//!
+//! 1. **Litmus differential** — for every suite program and every model,
+//!    the static verdict (all Shasha–Snir critical cycles protected) must
+//!    agree with the dynamic explorer (weak outcome unreachable).
+//! 2. **JVM volatile idioms** — Dekker (SB) and message passing (MP)
+//!    through the JIT lowering under the JDK8/JDK9 tables, analysed under
+//!    the matching model. Shipped tables must protect both idioms; a
+//!    seeded known-buggy table (full `Volatile` barrier weakened to
+//!    `dmb ishst`) must be *caught*; the defensive JDK8 ARM lowering must
+//!    draw redundant-fence lints with Eq. 2 savings estimates.
+//! 3. **Kernel `read_barrier_depends`** — the RCU-style publication idiom
+//!    under all six Fig. 10 strategies: `base case` and `ctrl` must be
+//!    flagged unprotected, the other four protected, and the
+//!    over-annotating `la/sr` must draw redundant lints.
+//!
+//! Exit is non-zero on any differential disagreement, any unprotected
+//! cycle in a shipped strategy, a missed seeded bug, or a missing
+//! expected lint — so CI can gate on it; `bench_gate` then guards the
+//! manifest against drift.
+
+use std::process::ExitCode;
+
+use wmm_analyze::{analyze, check_cycle, critical_cycles, Analysis, ProgramGraph, StreamDep};
+use wmm_bench::{machine, runs_dir};
+use wmm_harness::RunManifest;
+use wmm_jvm::barrier::Composite;
+use wmm_jvm::jit::{lower, JavaOp, JitConfig};
+use wmm_jvm::strategy::{arm_jdk8_barriers, power_jdk9, JvmStrategy};
+use wmm_kernel::macros::KMacro;
+use wmm_kernel::rbd::{rbd_strategy, RbdStrategy};
+use wmm_litmus::explore::explore;
+use wmm_litmus::ops::ModelKind;
+use wmm_litmus::suite::full_suite;
+use wmm_sim::arch::Arch;
+use wmm_sim::isa::{AccessOrd, FenceKind, Instr, Loc};
+use wmm_sim::machine::Machine;
+use wmmbench::image::flatten_streams;
+use wmmbench::strategy::FencingStrategy;
+
+/// Nominal fence sensitivity used to price redundant fences (spark on
+/// ARMv8, the paper's most barrier-sensitive workload — Fig. 5).
+const NOMINAL_K: f64 = 0.0087;
+
+const MODELS: [ModelKind; 4] = [
+    ModelKind::Sc,
+    ModelKind::Tso,
+    ModelKind::ArmV8,
+    ModelKind::Power,
+];
+
+fn push_analysis(m: &mut RunManifest, label: &str, a: &Analysis) {
+    m.push_cell(format!("{label}/cycles"), a.cycles as f64);
+    m.push_cell(format!("{label}/unprotected"), a.unprotected.len() as f64);
+    m.push_cell(format!("{label}/redundant"), a.redundant.len() as f64);
+}
+
+fn print_unprotected(a: &Analysis) {
+    for u in &a.unprotected {
+        println!("    UNPROTECTED {}", u.cycle);
+        for (from, to) in &u.missing {
+            println!("      missing ordering: {from} -> {to}");
+        }
+    }
+}
+
+fn print_redundant(a: &Analysis) {
+    for r in &a.redundant {
+        let place = if r.on_cycle {
+            "covered elsewhere"
+        } else {
+            "on no cycle"
+        };
+        let saving = r
+            .saving_ns
+            .map(|ns| format!(", est. saving {ns:.1} ns/invocation"))
+            .unwrap_or_default();
+        println!(
+            "    redundant fence: {} at t{} slot {} ({place}{saving})",
+            r.mnemonic, r.thread, r.slot
+        );
+    }
+}
+
+/// Per-fence cost (ns) on `mach`, keyed by the stream mnemonic.
+fn fence_cost(mach: &Machine) -> impl Fn(&str) -> f64 + '_ {
+    |mnemonic: &str| {
+        let kind = match mnemonic {
+            "DmbIsh" => Some(FenceKind::DmbIsh),
+            "DmbIshLd" => Some(FenceKind::DmbIshLd),
+            "DmbIshSt" => Some(FenceKind::DmbIshSt),
+            "Isb" => Some(FenceKind::Isb),
+            "HwSync" => Some(FenceKind::HwSync),
+            "LwSync" => Some(FenceKind::LwSync),
+            _ => None,
+        };
+        kind.map_or(0.0, |k| mach.time_sequence_ns(&[Instr::Fence(k)], 2000, 7))
+    }
+}
+
+// --- section 1: litmus differential ---------------------------------------
+
+fn litmus_section(manifest: &mut RunManifest, errors: &mut Vec<String>) {
+    println!("== litmus differential (static vs explorer) ==");
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for entry in full_suite() {
+        let g = ProgramGraph::from_litmus(&entry.test);
+        let cycles = critical_cycles(&g);
+        for model in MODELS {
+            let protected = cycles.iter().all(|c| check_cycle(&g, model, c).protected);
+            let observed = explore(&entry.test, model)
+                .allows_with_memory(&entry.test.interesting, &entry.test.memory);
+            let ok = protected != observed;
+            total += 1;
+            agree += usize::from(ok);
+            let label = format!("litmus/{}/{}", entry.test.name, model.label());
+            manifest.push_cell(format!("{label}/protected"), f64::from(protected));
+            manifest.push_cell(format!("{label}/agree"), f64::from(ok));
+            if !ok {
+                errors.push(format!(
+                    "differential disagreement: {} under {}: static protected={} \
+                     but explorer observes={}",
+                    entry.test.name,
+                    model.label(),
+                    protected,
+                    observed
+                ));
+            }
+        }
+    }
+    println!("  {agree}/{total} program×model rows agree");
+}
+
+// --- section 2: JVM volatile idioms ---------------------------------------
+
+fn volatile_sb() -> Vec<Vec<JavaOp>> {
+    let (x, y) = (Loc::SharedRw(1), Loc::SharedRw(2));
+    vec![
+        vec![JavaOp::VolatileStore(x), JavaOp::VolatileLoad(y)],
+        vec![JavaOp::VolatileStore(y), JavaOp::VolatileLoad(x)],
+    ]
+}
+
+fn volatile_mp() -> Vec<Vec<JavaOp>> {
+    let (data, flag) = (Loc::SharedRw(3), Loc::SharedRw(4));
+    vec![
+        vec![JavaOp::FieldStore(data), JavaOp::VolatileStore(flag)],
+        vec![JavaOp::VolatileLoad(flag), JavaOp::FieldLoad(data)],
+    ]
+}
+
+fn jvm_analysis(
+    name: &str,
+    idiom: &[Vec<JavaOp>],
+    cfg: &JitConfig,
+    strategy: &JvmStrategy,
+    model: ModelKind,
+    arch: Arch,
+) -> Analysis {
+    let streams = flatten_streams(&lower(idiom, cfg), strategy);
+    let g = ProgramGraph::from_streams(name, &streams, &[]);
+    let mach = machine(arch);
+    analyze(&g, model).with_savings(NOMINAL_K, fence_cost(&mach))
+}
+
+fn jvm_section(manifest: &mut RunManifest, errors: &mut Vec<String>) {
+    println!("== JVM volatile idioms ==");
+    let tables: [(&str, JitConfig, JvmStrategy, ModelKind, Arch); 3] = [
+        (
+            "jdk8-arm",
+            JitConfig::jdk8(Arch::ArmV8),
+            arm_jdk8_barriers(),
+            ModelKind::ArmV8,
+            Arch::ArmV8,
+        ),
+        (
+            "jdk9-arm",
+            JitConfig::jdk9(Arch::ArmV8),
+            arm_jdk8_barriers(),
+            ModelKind::ArmV8,
+            Arch::ArmV8,
+        ),
+        (
+            "jdk9-power",
+            JitConfig::jdk9(Arch::Power7),
+            power_jdk9(),
+            ModelKind::Power,
+            Arch::Power7,
+        ),
+    ];
+    let idioms: [(&str, Vec<Vec<JavaOp>>); 2] = [
+        ("volatile-SB", volatile_sb()),
+        ("volatile-MP", volatile_mp()),
+    ];
+
+    for (table, cfg, strategy, model, arch) in &tables {
+        for (idiom_name, idiom) in &idioms {
+            let label = format!("jvm/{table}/{idiom_name}");
+            let a = jvm_analysis(&label, idiom, cfg, strategy, *model, *arch);
+            println!(
+                "  {label}: {} cycles, {} unprotected, {} redundant",
+                a.cycles,
+                a.unprotected.len(),
+                a.redundant.len()
+            );
+            print_unprotected(&a);
+            print_redundant(&a);
+            push_analysis(manifest, &label, &a);
+            if !a.protected() {
+                errors.push(format!(
+                    "shipped JVM table {table} leaves {idiom_name} unprotected"
+                ));
+            }
+        }
+    }
+
+    // The defensive JDK8 ARM lowering double-fences adjacent volatiles:
+    // the lint must fire (this is the redundancy demonstration).
+    let a = jvm_analysis(
+        "jvm/jdk8-arm/volatile-SB",
+        &volatile_sb(),
+        &JitConfig::jdk8(Arch::ArmV8),
+        &arm_jdk8_barriers(),
+        ModelKind::ArmV8,
+        Arch::ArmV8,
+    );
+    if a.redundant.is_empty() {
+        errors.push("expected redundant-fence lints on the defensive JDK8 ARM lowering".into());
+    }
+
+    // Seeded known-buggy table: Volatile weakened to dmb ishst. The
+    // analyzer MUST flag it — this guards the detector itself.
+    let buggy = arm_jdk8_barriers()
+        .with_override(
+            Composite::Volatile.combined(),
+            vec![Instr::Fence(FenceKind::DmbIshSt)],
+        )
+        .named("jdk8-arm+volatile=dmb.ishst (seeded bug)");
+    let a = jvm_analysis(
+        "jvm/seeded-bug/volatile-SB",
+        &volatile_sb(),
+        &JitConfig::jdk8(Arch::ArmV8),
+        &buggy,
+        ModelKind::ArmV8,
+        Arch::ArmV8,
+    );
+    println!(
+        "  jvm/seeded-bug/volatile-SB: {} unprotected (expected > 0)",
+        a.unprotected.len()
+    );
+    print_unprotected(&a);
+    push_analysis(manifest, "jvm/seeded-bug/volatile-SB", &a);
+    if a.protected() {
+        errors.push("seeded buggy JVM strategy was NOT caught".into());
+    }
+}
+
+// --- section 3: kernel read_barrier_depends -------------------------------
+
+/// The RCU-style publication idiom `read_barrier_depends` exists for:
+/// writer initialises data then publishes a pointer; reader loads the
+/// pointer, invokes the barrier, dereferences.
+fn rbd_publish(which: RbdStrategy) -> (Vec<Vec<Instr>>, Vec<StreamDep>) {
+    let s = rbd_strategy(which);
+    let (data, ptr) = (Loc::SharedRw(0xDA7A), Loc::SharedRw(0x97E));
+    let store = |loc| Instr::Store {
+        loc,
+        ord: AccessOrd::Plain,
+    };
+    let load = |loc| Instr::Load {
+        loc,
+        ord: AccessOrd::Plain,
+    };
+
+    let mut writer = s.lower(&KMacro::WriteOnce);
+    writer.push(store(data));
+    writer.extend(s.lower(&KMacro::SmpWmb));
+    writer.extend(s.lower(&KMacro::WriteOnce));
+    writer.push(store(ptr));
+
+    let mut reader = s.lower(&KMacro::ReadOnce);
+    let ptr_load = reader.len();
+    reader.push(load(ptr));
+    reader.extend(s.lower(&KMacro::ReadBarrierDepends));
+    reader.extend(s.lower(&KMacro::ReadOnce));
+    let data_load = reader.len();
+    reader.push(load(data));
+
+    let deps = which
+        .dep_kind()
+        .map(|kind| StreamDep {
+            thread: 1,
+            from: ptr_load,
+            to: data_load,
+            kind,
+        })
+        .into_iter()
+        .collect();
+    (vec![writer, reader], deps)
+}
+
+fn kernel_section(manifest: &mut RunManifest, errors: &mut Vec<String>) {
+    println!("== kernel read_barrier_depends strategies (Fig. 10) ==");
+    let mach = machine(Arch::ArmV8);
+    for which in RbdStrategy::ALL {
+        let (streams, deps) = rbd_publish(which);
+        let tag = which.label().replace([' ', '/'], "-");
+        let label = format!("kernel/rbd={tag}");
+        let g = ProgramGraph::from_streams(label.clone(), &streams, &deps);
+        let a = analyze(&g, ModelKind::ArmV8).with_savings(NOMINAL_K, fence_cost(&mach));
+        println!(
+            "  {label}: {} cycles, {} unprotected, {} redundant",
+            a.cycles,
+            a.unprotected.len(),
+            a.redundant.len()
+        );
+        print_unprotected(&a);
+        print_redundant(&a);
+        push_analysis(manifest, &label, &a);
+
+        // §4.3.1: the base case and a bare control dependency do not order
+        // the dependent load; the other four strategies do.
+        let expect_protected = !matches!(which, RbdStrategy::BaseCase | RbdStrategy::Ctrl);
+        if a.protected() != expect_protected {
+            errors.push(format!(
+                "rbd={}: expected protected={expect_protected}, got {}",
+                which.label(),
+                a.protected()
+            ));
+        }
+        if which == RbdStrategy::LaSr && a.redundant.is_empty() {
+            errors.push("expected redundant-fence lints on the la/sr over-annotation".into());
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    println!("fence_lint — static fence-placement audit");
+    let mut manifest = RunManifest::new("fence_lint", "static");
+    let mut errors: Vec<String> = vec![];
+
+    litmus_section(&mut manifest, &mut errors);
+    jvm_section(&mut manifest, &mut errors);
+    kernel_section(&mut manifest, &mut errors);
+
+    let path = manifest.write(runs_dir()).expect("write manifest");
+    println!("wrote {}", path.display());
+
+    if errors.is_empty() {
+        println!("fence_lint: OK");
+        ExitCode::SUCCESS
+    } else {
+        for e in &errors {
+            eprintln!("fence_lint ERROR: {e}");
+        }
+        ExitCode::FAILURE
+    }
+}

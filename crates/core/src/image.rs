@@ -30,6 +30,30 @@ pub enum Segment<P> {
     Site(P),
 }
 
+/// Flatten per-thread segment lists into raw instruction streams by
+/// lowering every site through `strategy` — no padding, no cost
+/// injection. This is the bridge between the platform lowerings and
+/// analyses that consume bare streams (e.g. `wmm-analyze`'s program-graph
+/// frontend).
+pub fn flatten_streams<P>(
+    threads: &[Vec<Segment<P>>],
+    strategy: &dyn FencingStrategy<P>,
+) -> Vec<Vec<Instr>> {
+    threads
+        .iter()
+        .map(|segs| {
+            let mut out = Vec::new();
+            for seg in segs {
+                match seg {
+                    Segment::Code(is) => out.extend(is.iter().copied()),
+                    Segment::Site(p) => out.extend(strategy.lower(p)),
+                }
+            }
+            out
+        })
+        .collect()
+}
+
 /// A multi-threaded program image with labelled sites.
 #[derive(Debug, Clone)]
 pub struct Image<P> {

@@ -47,7 +47,7 @@ pub mod turnkey;
 
 pub use costfn::{Calibration, CostFunction};
 pub use exec::{Executor, SerialExecutor, SimJob};
-pub use image::{Image, Segment, SiteRewriter};
+pub use image::{flatten_streams, Image, Segment, SiteRewriter};
 pub use json::{Json, ToJson};
 pub use model::{estimate_cost, predicted_performance, SensitivityFit};
 pub use runner::{

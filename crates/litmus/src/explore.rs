@@ -51,6 +51,7 @@ pub struct OutcomeSet {
 
 impl OutcomeSet {
     /// Is the conjunctive register assertion reachable?
+    #[must_use]
     pub fn allows(&self, outcome: &Outcome) -> bool {
         self.finals
             .iter()
@@ -60,6 +61,7 @@ impl OutcomeSet {
     /// Is the combined register + final-memory assertion reachable?
     /// `memory` entries are `(var, value)` conjuncts — the classic
     /// final-state conditions of the S, R and 2+2W shapes.
+    #[must_use]
     pub fn allows_with_memory(&self, outcome: &Outcome, memory: &[(usize, u32)]) -> bool {
         self.finals.iter().any(|(regs, mem)| {
             outcome.iter().all(|&(t, r, v)| regs[t][r] == v)
@@ -70,11 +72,13 @@ impl OutcomeSet {
     }
 
     /// Number of distinct final states.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.finals.len()
     }
 
     /// True if no execution completed (cannot happen for well-formed tests).
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.finals.is_empty()
     }
@@ -89,9 +93,9 @@ struct Explorer<'t> {
     finals: HashSet<(Vec<Vec<u32>>, Vec<u32>)>,
 }
 
-impl<'t> Explorer<'t> {
+impl Explorer<'_> {
     /// Latest visible store id for `var` as seen by `thread`, if any.
-    fn latest_visible(&self, st: &State, thread: usize, var: usize) -> Option<usize> {
+    fn latest_visible(st: &State, thread: usize, var: usize) -> Option<usize> {
         st.stores
             .iter()
             .enumerate()
@@ -117,13 +121,16 @@ impl<'t> Explorer<'t> {
     /// thread has read or written at earlier (executed) ops. Used by `Full`
     /// fences (wait for global propagation) and, restricted to ops before
     /// the latest cumulative fence, as store prerequisites.
-    fn group_a(&self, st: &State, t: usize, upto: usize) -> Vec<usize> {
+    fn group_a(st: &State, t: usize, upto: usize) -> Vec<usize> {
         (0..upto)
             .filter(|&i| st.executed[t] & (1 << i) != 0)
             .filter_map(|i| st.touched[t][i])
             .collect()
     }
 
+    // One arm per op shape; splitting the match would scatter the model
+    // semantics across helpers.
+    #[allow(clippy::too_many_lines)]
     fn step(&mut self, st: &State) {
         if !self.seen.insert(st.clone()) {
             return;
@@ -151,8 +158,7 @@ impl<'t> Explorer<'t> {
                         // On POWER a sync waits until its group-A stores have
                         // propagated everywhere (cumulativity). Elsewhere the
                         // condition is vacuous.
-                        let ready = self
-                            .group_a(st, t, j)
+                        let ready = Self::group_a(st, t, j)
                             .into_iter()
                             .all(|sid| st.stores[sid].mask == self.all_mask);
                         if !ready {
@@ -171,7 +177,7 @@ impl<'t> Explorer<'t> {
                     LOp::Load { var, reg, .. } => {
                         let mut next = st.clone();
                         next.executed[t] |= 1 << j;
-                        let sid = self.latest_visible(st, t, var);
+                        let sid = Self::latest_visible(st, t, var);
                         next.regs[t][reg] = sid.map_or(0, |i| st.stores[i].val);
                         next.touched[t][j] = sid;
                         self.step(&next);
@@ -187,16 +193,16 @@ impl<'t> Explorer<'t> {
                         let prereqs = if self.model.multi_copy_atomic() {
                             vec![]
                         } else if release {
-                            self.group_a(st, t, j)
+                            Self::group_a(st, t, j)
                         } else {
                             let barrier = (0..j).rev().find(|&i| {
                                 matches!(
                                     self.test.threads[t][i],
-                                    LOp::Fence(FClass::Full) | LOp::Fence(FClass::LwSync)
+                                    LOp::Fence(FClass::Full | FClass::LwSync)
                                 )
                             });
                             match barrier {
-                                Some(b) => self.group_a(st, t, b),
+                                Some(b) => Self::group_a(st, t, b),
                                 None => vec![],
                             }
                         };
@@ -245,10 +251,16 @@ impl<'t> Explorer<'t> {
 }
 
 /// Enumerate all final register states of `test` under `model`.
+///
+/// # Panics
+///
+/// Panics if the test has more than 32 threads or more than 32 ops on any
+/// thread — both are bitmask-width limits of the state encoding.
+#[must_use]
 pub fn explore(test: &LitmusTest, model: ModelKind) -> OutcomeSet {
     let nthreads = test.threads.len();
     assert!(nthreads <= 32, "thread count limited by bitmask width");
-    for t in test.threads.iter() {
+    for t in &test.threads {
         assert!(
             t.len() <= 32,
             "per-thread op count limited by bitmask width"

@@ -4,7 +4,7 @@
 //! the fence kinds of [`wmm_sim`] mean what the timing model assumes.
 //!
 //! The paper's methodology leans on the operational models of Sarkar et al.
-//! (POWER, PLDI 2011) and Flur et al. (ARMv8, POPL 2016) for what fences
+//! (POWER, PLDI 2011) and Flur et al. (`ARMv8`, POPL 2016) for what fences
 //! *do*; a reproduction needs an in-repo ground truth. This crate implements
 //! a simplified but exhaustive operational model:
 //!
@@ -19,7 +19,7 @@
 //! * exhaustive **DFS with memoisation** over all scheduling and propagation
 //!   choices, collecting the set of reachable final register states.
 //!
-//! Classic litmus tests (SB, MP, LB, WRC, IRIW, CoRR, S, R, 2+2W and fenced
+//! Classic litmus tests (SB, MP, LB, WRC, IRIW, `CoRR`, S, R, 2+2W and fenced
 //! variants) with per-model allow/forbid expectations live in [`suite`].
 //!
 //! ## Known approximations

@@ -19,11 +19,13 @@ pub enum ModelKind {
 
 impl ModelKind {
     /// Whether committed stores become visible to all threads at once.
+    #[must_use]
     pub fn multi_copy_atomic(self) -> bool {
         !matches!(self, ModelKind::Power)
     }
 
     /// Short label for reports.
+    #[must_use]
     pub fn label(self) -> &'static str {
         match self {
             ModelKind::Sc => "SC",
@@ -42,14 +44,15 @@ pub enum FClass {
     Full,
     /// POWER `lwsync`: orders all pairs except store→load; cumulative.
     LwSync,
-    /// ARMv8 `dmb ishst`: orders store→store only.
+    /// `ARMv8` `dmb ishst`: orders store→store only.
     StSt,
-    /// ARMv8 `dmb ishld`: orders load→load and load→store.
+    /// `ARMv8` `dmb ishld`: orders load→load and load→store.
     LdLdSt,
 }
 
 impl FClass {
     /// Whether the class orders the pair (`a_is_store`, `b_is_store`).
+    #[must_use]
     pub fn covers(self, a_is_store: bool, b_is_store: bool) -> bool {
         match self {
             FClass::Full => true,
@@ -63,6 +66,7 @@ impl FClass {
     /// Map a simulator fence instruction to its semantic class, if it has
     /// one (`Compiler` has none; `Isb` only matters inside a `ctrl+isb`
     /// dependency, expressed via [`DepKind::CtrlIsb`]).
+    #[must_use]
     pub fn of_fence(kind: FenceKind) -> Option<FClass> {
         match kind {
             FenceKind::DmbIsh | FenceKind::HwSync => Some(FClass::Full),
@@ -95,6 +99,7 @@ pub enum DepKind {
 impl DepKind {
     /// Does this dependency order the source load before an op where
     /// `b_is_store` says whether the dependent op is a store?
+    #[must_use]
     pub fn orders(self, b_is_store: bool) -> bool {
         match self {
             DepKind::Addr | DepKind::Data | DepKind::CtrlIsb => true,
@@ -134,16 +139,19 @@ pub enum LOp {
 
 impl LOp {
     /// Is this a memory access (load or store)?
+    #[must_use]
     pub fn is_access(&self) -> bool {
         !matches!(self, LOp::Fence(_))
     }
 
     /// Is this a store?
+    #[must_use]
     pub fn is_store(&self) -> bool {
         matches!(self, LOp::Store { .. })
     }
 
     /// Variable accessed, if any.
+    #[must_use]
     pub fn var(&self) -> Option<usize> {
         match self {
             LOp::Store { var, .. } | LOp::Load { var, .. } => Some(*var),
@@ -153,6 +161,7 @@ impl LOp {
 
     /// Dependency annotation, if this is a dependent op. Stores may carry a
     /// dependency too (data/ctrl); encode those in [`LitmusTest::store_deps`].
+    #[must_use]
     pub fn dep(&self) -> Option<(usize, DepKind)> {
         match self {
             LOp::Load { dep, .. } => *dep,
@@ -195,6 +204,7 @@ impl LitmusTest {
     }
 
     /// Dependency attached to op `(t, j)`, whether load- or store-side.
+    #[must_use]
     pub fn dep_of(&self, t: usize, j: usize) -> Option<(usize, DepKind)> {
         if let Some(d) = self.threads[t][j].dep() {
             return Some(d);
@@ -213,6 +223,8 @@ impl LitmusTest {
     /// * TSO orders everything except store→load on different variables;
     /// * ARMv8/POWER order only same-location pairs, fenced pairs,
     ///   acquire/release pairs, and dependency pairs.
+    #[must_use]
+    #[allow(clippy::many_single_char_names)] // t/i/j are positions, a/b the ops
     pub fn ordered(&self, model: ModelKind, t: usize, i: usize, j: usize) -> bool {
         debug_assert!(i < j);
         let a = &self.threads[t][i];
@@ -250,6 +262,14 @@ impl LitmusTest {
         // Release stores order after all earlier accesses.
         if let LOp::Store { release: true, .. } = b {
             return true;
+        }
+        // ARMv8 release/acquire is RCsc: an acquire load stays ordered
+        // after an earlier release store (`stlr; ldar` do not reorder).
+        // POWER's release is lwsync-flavoured (RCpc): store->load escapes.
+        if model == ModelKind::ArmV8 {
+            if let (LOp::Store { release: true, .. }, LOp::Load { acquire: true, .. }) = (a, b) {
+                return true;
+            }
         }
         // Dependencies.
         if let Some((src, kind)) = self.dep_of(t, j) {

@@ -1,13 +1,13 @@
 //! The litmus-test suite with per-model allow/forbid expectations.
 //!
 //! Shapes follow the standard naming convention of the Herd/litmus
-//! literature (Alglave et al., "Herding cats"): SB, MP, LB, WRC, IRIW, CoRR,
+//! literature (Alglave et al., "Herding cats"): SB, MP, LB, WRC, IRIW, `CoRR`,
 //! plus fenced and dependency-carrying variants. Each entry records, for
 //! every model, whether the *interesting* (weak) outcome must be observable.
 //!
 //! These expectations are the semantic contract that `wmm-sim`'s fence
 //! kinds are priced against: e.g. if `dmb ishst` + an address dependency is
-//! enough to forbid message passing on ARMv8, then a fencing strategy that
+//! enough to forbid message passing on `ARMv8`, then a fencing strategy that
 //! replaces a full `dmb ish` with `dmb ishst` at a store-store code path is
 //! *correct*, and the paper's question — is it *faster*? — becomes the
 //! interesting one.
@@ -27,6 +27,7 @@ pub struct SuiteEntry {
 impl SuiteEntry {
     /// Run the test under `model` and return `(expected, observed)` if the
     /// suite records an expectation for that model.
+    #[must_use]
     pub fn check(&self, model: ModelKind) -> Option<(bool, bool)> {
         let expected = self
             .expect
@@ -104,6 +105,7 @@ use ModelKind::{ArmV8, Power, Sc, Tso};
 // --- the suite ------------------------------------------------------------
 
 /// SB: Dekker's store buffering. Weak outcome observable everywhere but SC.
+#[must_use]
 pub fn store_buffering() -> SuiteEntry {
     SuiteEntry {
         test: test(
@@ -117,6 +119,7 @@ pub fn store_buffering() -> SuiteEntry {
 }
 
 /// SB with full fences (`dmb ish` / `sync`): forbidden everywhere.
+#[must_use]
 pub fn sb_fences() -> SuiteEntry {
     SuiteEntry {
         test: test(
@@ -134,6 +137,7 @@ pub fn sb_fences() -> SuiteEntry {
 
 /// SB with `lwsync`s: still observable on POWER — `lwsync` does not order
 /// store→load, the whole reason `sync` exists (and costs 18.9 ns).
+#[must_use]
 pub fn sb_lwsyncs() -> SuiteEntry {
     SuiteEntry {
         test: test(
@@ -150,6 +154,7 @@ pub fn sb_lwsyncs() -> SuiteEntry {
 }
 
 /// MP: message passing with no ordering. Observable on ARM/POWER.
+#[must_use]
 pub fn message_passing() -> SuiteEntry {
     SuiteEntry {
         test: test(
@@ -163,6 +168,7 @@ pub fn message_passing() -> SuiteEntry {
 }
 
 /// MP with full fences on both sides: forbidden everywhere.
+#[must_use]
 pub fn mp_fences() -> SuiteEntry {
     SuiteEntry {
         test: test(
@@ -179,9 +185,10 @@ pub fn mp_fences() -> SuiteEntry {
 }
 
 /// MP with `dmb ishst` on the writer and an address dependency on the
-/// reader: forbidden on (multi-copy-atomic) ARMv8 — the cheap fencing
+/// reader: forbidden on (multi-copy-atomic) `ARMv8` — the cheap fencing
 /// strategy is sound there. Observable on POWER, where `ishst`-class
 /// ordering is not cumulative.
+#[must_use]
 pub fn mp_dmbst_addr() -> SuiteEntry {
     SuiteEntry {
         test: test(
@@ -200,6 +207,7 @@ pub fn mp_dmbst_addr() -> SuiteEntry {
 /// MP with `lwsync` on the writer and an address dependency on the reader:
 /// forbidden on POWER thanks to `lwsync` cumulativity — the reason `lwsync`
 /// (6.1 ns) suffices where `sync` (18.9 ns) is not needed.
+#[must_use]
 pub fn mp_lwsync_addr() -> SuiteEntry {
     SuiteEntry {
         test: test(
@@ -215,8 +223,9 @@ pub fn mp_lwsync_addr() -> SuiteEntry {
     }
 }
 
-/// MP with release store / acquire load (JDK9's ARMv8 volatile strategy):
+/// MP with release store / acquire load (JDK9's `ARMv8` volatile strategy):
 /// forbidden on both weak models.
+#[must_use]
 pub fn mp_rel_acq() -> SuiteEntry {
     SuiteEntry {
         test: test(
@@ -233,6 +242,7 @@ pub fn mp_rel_acq() -> SuiteEntry {
 /// observable — control dependencies do not order load→load (loads are
 /// speculated past branches). This is the semantic core of the
 /// `read_barrier_depends` investigation in §4.3.
+#[must_use]
 pub fn mp_dmbst_ctrl() -> SuiteEntry {
     SuiteEntry {
         test: test(
@@ -248,9 +258,10 @@ pub fn mp_dmbst_ctrl() -> SuiteEntry {
     }
 }
 
-/// MP with `ctrl+isb` on the reader: forbidden on ARMv8 — the `ctrl+isb`
+/// MP with `ctrl+isb` on the reader: forbidden on `ARMv8` — the `ctrl+isb`
 /// strategy of Fig. 10 is sound, at the cost of the pipeline flush the
 /// paper measures at ~24.5 ns.
+#[must_use]
 pub fn mp_dmbst_ctrlisb() -> SuiteEntry {
     SuiteEntry {
         test: test(
@@ -267,8 +278,9 @@ pub fn mp_dmbst_ctrlisb() -> SuiteEntry {
 }
 
 /// MP with `dmb ishld` on the reader (and `ishst` on the writer): forbidden
-/// on ARMv8 — `dmb ishld` is a sound `read_barrier_depends`, the paper's
+/// on `ARMv8` — `dmb ishld` is a sound `read_barrier_depends`, the paper's
 /// "particularly positive result" (§4.3.1).
+#[must_use]
 pub fn mp_dmbst_dmbld() -> SuiteEntry {
     SuiteEntry {
         test: test(
@@ -285,6 +297,7 @@ pub fn mp_dmbst_dmbld() -> SuiteEntry {
 }
 
 /// LB: load buffering. Observable on relaxed models, forbidden on TSO.
+#[must_use]
 pub fn load_buffering() -> SuiteEntry {
     SuiteEntry {
         test: test(
@@ -298,6 +311,7 @@ pub fn load_buffering() -> SuiteEntry {
 }
 
 /// LB with data dependencies: forbidden everywhere (no out-of-thin-air).
+#[must_use]
 pub fn lb_deps() -> SuiteEntry {
     SuiteEntry {
         test: test(
@@ -310,8 +324,9 @@ pub fn lb_deps() -> SuiteEntry {
     }
 }
 
-/// WRC with dependencies: forbidden on multi-copy-atomic ARMv8, observable
+/// WRC with dependencies: forbidden on multi-copy-atomic `ARMv8`, observable
 /// on POWER — the cleanest register-observable MCA/non-MCA split.
+#[must_use]
 pub fn wrc_deps() -> SuiteEntry {
     SuiteEntry {
         test: test(
@@ -330,6 +345,7 @@ pub fn wrc_deps() -> SuiteEntry {
 
 /// WRC with a `sync` in the middle thread: cumulativity restores order on
 /// POWER.
+#[must_use]
 pub fn wrc_sync_addr() -> SuiteEntry {
     SuiteEntry {
         test: test(
@@ -348,6 +364,7 @@ pub fn wrc_sync_addr() -> SuiteEntry {
 
 /// IRIW with address dependencies: the canonical non-MCA witness —
 /// observable on POWER only.
+#[must_use]
 pub fn iriw_addrs() -> SuiteEntry {
     let reader =
         |first: usize, second: usize| vec![ld(first, 0), lddep(second, 1, 0, DepKind::Addr)];
@@ -364,6 +381,7 @@ pub fn iriw_addrs() -> SuiteEntry {
 
 /// IRIW with `sync`s between the reads: forbidden even on POWER. This is
 /// what a heavyweight `sync` buys over `lwsync` — at 3x the cost (§4.4).
+#[must_use]
 pub fn iriw_syncs() -> SuiteEntry {
     let reader =
         |first: usize, second: usize| vec![ld(first, 0), LOp::Fence(FClass::Full), ld(second, 1)];
@@ -380,6 +398,7 @@ pub fn iriw_syncs() -> SuiteEntry {
 
 /// IRIW with `lwsync`s: still observable on POWER — `lwsync` is not
 /// strong enough to restore write atomicity.
+#[must_use]
 pub fn iriw_lwsyncs() -> SuiteEntry {
     let reader =
         |first: usize, second: usize| vec![ld(first, 0), LOp::Fence(FClass::LwSync), ld(second, 1)];
@@ -394,7 +413,8 @@ pub fn iriw_lwsyncs() -> SuiteEntry {
     }
 }
 
-/// CoRR: per-location coherence of reads. Forbidden on every model.
+/// `CoRR`: per-location coherence of reads. Forbidden on every model.
+#[must_use]
 pub fn corr() -> SuiteEntry {
     SuiteEntry {
         test: test(
@@ -411,6 +431,7 @@ pub fn corr() -> SuiteEntry {
 /// requires the second thread's store to be coherence-ordered *before* the
 /// first thread's, against both program orders. With a full fence on the
 /// writer and a data dependency on the reader it is forbidden everywhere.
+#[must_use]
 pub fn s_shape() -> SuiteEntry {
     SuiteEntry {
         test: LitmusTest {
@@ -425,6 +446,7 @@ pub fn s_shape() -> SuiteEntry {
 }
 
 /// S with a full fence and a data dependency: forbidden everywhere.
+#[must_use]
 pub fn s_fenced() -> SuiteEntry {
     SuiteEntry {
         test: LitmusTest {
@@ -444,6 +466,7 @@ pub fn s_fenced() -> SuiteEntry {
 /// 2+2W: both threads write both variables in opposite orders; the weak
 /// final state has each thread's *first* write surviving. Observable on the
 /// relaxed models, forbidden with store-store fences.
+#[must_use]
 pub fn two_plus_two_w() -> SuiteEntry {
     SuiteEntry {
         test: LitmusTest {
@@ -457,8 +480,9 @@ pub fn two_plus_two_w() -> SuiteEntry {
     }
 }
 
-/// 2+2W with `dmb ishst` on both threads: forbidden on ARMv8 — the cheapest
+/// 2+2W with `dmb ishst` on both threads: forbidden on `ARMv8` — the cheapest
 /// fence suffices for pure write-write shapes.
+#[must_use]
 pub fn two_plus_two_w_ishst() -> SuiteEntry {
     SuiteEntry {
         test: LitmusTest {
@@ -475,8 +499,124 @@ pub fn two_plus_two_w_ishst() -> SuiteEntry {
     }
 }
 
-/// CoWW: two stores by one thread to the same location must commit in
+/// R: `Wx=1; Wy=1 || Wy=2; Rx` with final `y=2 ∧ r=0` — one coherence
+/// edge and one from-read edge against both program orders. Forbidden
+/// only under SC: even TSO lets the second thread's load overtake its
+/// store.
+#[must_use]
+pub fn r_shape() -> SuiteEntry {
+    SuiteEntry {
+        test: LitmusTest {
+            name: "R".into(),
+            threads: vec![vec![st(0, 1), st(1, 1)], vec![st(1, 2), ld(0, 0)]],
+            interesting: vec![(1, 0, 0)],
+            store_deps: vec![],
+            memory: vec![(1, 2)],
+        },
+        expect: vec![(Sc, false), (Tso, true), (ArmV8, true), (Power, true)],
+    }
+}
+
+/// R with full fences on both threads: forbidden everywhere — like SB,
+/// the store→load leg needs full-fence strength.
+#[must_use]
+pub fn r_fences() -> SuiteEntry {
+    SuiteEntry {
+        test: LitmusTest {
+            name: "R+dmbs".into(),
+            threads: vec![
+                vec![st(0, 1), LOp::Fence(FClass::Full), st(1, 1)],
+                vec![st(1, 2), LOp::Fence(FClass::Full), ld(0, 0)],
+            ],
+            interesting: vec![(1, 0, 0)],
+            store_deps: vec![],
+            memory: vec![(1, 2)],
+        },
+        expect: vec![(Sc, false), (Tso, false), (ArmV8, false), (Power, false)],
+    }
+}
+
+/// ISA2: a three-thread MP chain — writer, forwarder, reader. Bare, the
+/// weak outcome shows on both relaxed models.
+#[must_use]
+pub fn isa2() -> SuiteEntry {
+    SuiteEntry {
+        test: test(
+            "ISA2",
+            vec![
+                vec![st(0, 1), st(2, 1)],
+                vec![ld(2, 0), st(1, 1)],
+                vec![ld(1, 0), ld(0, 1)],
+            ],
+            vec![(1, 0, 1), (2, 0, 1), (2, 1, 0)],
+            vec![],
+        ),
+        expect: vec![(Sc, false), (Tso, false), (ArmV8, true), (Power, true)],
+    }
+}
+
+/// ISA2 with full fences in all three threads: forbidden everywhere.
+#[must_use]
+pub fn isa2_fences() -> SuiteEntry {
+    SuiteEntry {
+        test: test(
+            "ISA2+dmbs",
+            vec![
+                vec![st(0, 1), LOp::Fence(FClass::Full), st(2, 1)],
+                vec![ld(2, 0), LOp::Fence(FClass::Full), st(1, 1)],
+                vec![ld(1, 0), LOp::Fence(FClass::Full), ld(0, 1)],
+            ],
+            vec![(1, 0, 1), (2, 0, 1), (2, 1, 0)],
+            vec![],
+        ),
+        expect: vec![(Sc, false), (Tso, false), (ArmV8, false), (Power, false)],
+    }
+}
+
+/// ISA2 with `sync` at the writer and dependencies downstream: the
+/// `sync`'s A-cumulativity carries the first store through the chain, so
+/// the outcome is forbidden even on POWER.
+#[must_use]
+pub fn isa2_sync_deps() -> SuiteEntry {
+    SuiteEntry {
+        test: test(
+            "ISA2+sync+data+addr",
+            vec![
+                vec![st(0, 1), LOp::Fence(FClass::Full), st(2, 1)],
+                vec![ld(2, 0), st(1, 1)],
+                vec![ld(1, 0), lddep(0, 1, 0, DepKind::Addr)],
+            ],
+            vec![(1, 0, 1), (2, 0, 1), (2, 1, 0)],
+            vec![(1, 1, 0, DepKind::Data)],
+        ),
+        expect: vec![(Sc, false), (ArmV8, false), (Power, false)],
+    }
+}
+
+/// SB with release stores and acquire loads: forbidden on `ARMv8`, whose
+/// release/acquire is `RCsc` (`stlr; ldar` stay ordered — what lets JDK9
+/// drop the trailing `dmb` from volatile stores). Still observable on
+/// POWER, whose release is `lwsync`-flavoured, and on TSO, where the
+/// markers add nothing.
+#[must_use]
+pub fn sb_rel_acq() -> SuiteEntry {
+    SuiteEntry {
+        test: test(
+            "SB+rel+acq",
+            vec![
+                vec![strel(0, 1), ldacq(1, 0)],
+                vec![strel(1, 1), ldacq(0, 0)],
+            ],
+            vec![(0, 0, 0), (1, 0, 0)],
+            vec![],
+        ),
+        expect: vec![(Sc, false), (Tso, true), (ArmV8, false), (Power, true)],
+    }
+}
+
+/// `CoWW`: two stores by one thread to the same location must commit in
 /// program order on every model — the final value is always the second.
+#[must_use]
 pub fn coww() -> SuiteEntry {
     SuiteEntry {
         test: LitmusTest {
@@ -491,6 +631,7 @@ pub fn coww() -> SuiteEntry {
 }
 
 /// The complete suite.
+#[must_use]
 pub fn full_suite() -> Vec<SuiteEntry> {
     vec![
         store_buffering(),
@@ -516,12 +657,19 @@ pub fn full_suite() -> Vec<SuiteEntry> {
         s_fenced(),
         two_plus_two_w(),
         two_plus_two_w_ishst(),
+        r_shape(),
+        r_fences(),
+        isa2(),
+        isa2_fences(),
+        isa2_sync_deps(),
+        sb_rel_acq(),
         coww(),
     ]
 }
 
 /// Run the whole suite under every model with expectations; returns
 /// `(test name, model, expected, observed)` rows.
+#[must_use]
 pub fn run_full_suite() -> Vec<(String, ModelKind, bool, bool)> {
     let mut rows = vec![];
     for entry in full_suite() {

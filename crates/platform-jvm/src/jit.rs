@@ -11,13 +11,13 @@
 //!
 //! Architecture differences follow the paper's observation that "the
 //! developers of the ARM implementation are more defensive, adding more
-//! LoadLoad and LoadStore barriers than the Power developers":
+//! `LoadLoad` and `LoadStore` barriers than the Power developers":
 //!
-//! * **ARMv8, barrier mode** (JDK8 / `UseBarriersForVolatile`): volatile
+//! * **`ARMv8`, barrier mode** (JDK8 / `UseBarriersForVolatile`): volatile
 //!   stores are bracketed by *full* `Volatile` barriers, and the C2 locking
 //!   code emits an extra `Volatile` barrier per monitor operation — the
 //!   `dmb`s that the pending DMB-elimination patch removes (§4.2.1).
-//! * **ARMv8, JDK9 mode**: volatile accesses become `ldar`/`stlr` with no
+//! * **`ARMv8`, JDK9 mode**: volatile accesses become `ldar`/`stlr` with no
 //!   barrier sites at all.
 //! * **POWER**: volatile loads/stores use the composite barriers exactly as
 //!   §4.2 lists them; monitor exit is a `Release` site; monitor enter is an
@@ -38,7 +38,7 @@ use crate::barrier::{Combined, Composite};
 pub enum VolatileMode {
     /// JDK8 behaviour / `-XX:+UseBarriersForVolatile`: explicit barriers.
     Barriers,
-    /// JDK9 behaviour on ARMv8: `ldar`/`stlr` instructions.
+    /// JDK9 behaviour on `ARMv8`: `ldar`/`stlr` instructions.
     LoadAcquireStoreRelease,
 }
 
@@ -59,6 +59,7 @@ pub struct JitConfig {
 impl JitConfig {
     /// Stock JDK9 configuration for an architecture: POWER keeps barriers,
     /// ARM uses load-acquire/store-release.
+    #[must_use]
     pub fn jdk9(arch: Arch) -> Self {
         JitConfig {
             arch,
@@ -71,6 +72,7 @@ impl JitConfig {
     }
 
     /// JDK8 behaviour (barriers everywhere).
+    #[must_use]
     pub fn jdk8(arch: Arch) -> Self {
         JitConfig {
             arch,
@@ -108,11 +110,14 @@ pub enum JavaOp {
 }
 
 /// Lower per-thread Java operation streams to image segments.
+#[must_use]
 pub fn lower(threads: &[Vec<JavaOp>], cfg: &JitConfig) -> Vec<Vec<Segment<Combined>>> {
-    threads.iter().map(|ops| lower_thread(ops, cfg)).collect()
+    threads.iter().map(|ops| lower_thread(ops, *cfg)).collect()
 }
 
-fn lower_thread(ops: &[JavaOp], cfg: &JitConfig) -> Vec<Segment<Combined>> {
+// One arm per JavaOp; splitting the match would obscure the lowering table.
+#[allow(clippy::too_many_lines)]
+fn lower_thread(ops: &[JavaOp], cfg: JitConfig) -> Vec<Segment<Combined>> {
     let mut segs: Vec<Segment<Combined>> = Vec::new();
     let mut code: Vec<Instr> = Vec::new();
     let flush = |code: &mut Vec<Instr>, segs: &mut Vec<Segment<Combined>>| {
@@ -256,7 +261,7 @@ fn lower_thread(ops: &[JavaOp], cfg: &JitConfig) -> Vec<Segment<Combined>> {
                 code.push(Instr::Compute { cycles: 4 });
                 for w in 0..words.min(8) {
                     code.push(Instr::Store {
-                        loc: Loc::Private(0x71AB + w as u64),
+                        loc: Loc::Private(0x71AB + u64::from(w)),
                         ord: AccessOrd::Plain,
                     });
                 }
@@ -284,7 +289,7 @@ mod tests {
     #[test]
     fn volatile_load_emits_volatile_then_acquire_in_barrier_mode() {
         let cfg = JitConfig::jdk8(Arch::Power7);
-        let segs = lower_thread(&[JavaOp::VolatileLoad(Loc::SharedRw(1))], &cfg);
+        let segs = lower_thread(&[JavaOp::VolatileLoad(Loc::SharedRw(1))], cfg);
         let sites: Vec<Combined> = segs
             .iter()
             .filter_map(|s| match s {
@@ -304,7 +309,7 @@ mod tests {
     #[test]
     fn power_volatile_store_uses_release_then_volatile() {
         let cfg = JitConfig::jdk8(Arch::Power7);
-        let segs = lower_thread(&[JavaOp::VolatileStore(Loc::SharedRw(1))], &cfg);
+        let segs = lower_thread(&[JavaOp::VolatileStore(Loc::SharedRw(1))], cfg);
         let sites: Vec<Combined> = segs
             .iter()
             .filter_map(|s| match s {
@@ -324,7 +329,7 @@ mod tests {
     #[test]
     fn arm_volatile_store_is_defensive() {
         let cfg = JitConfig::jdk8(Arch::ArmV8);
-        let segs = lower_thread(&[JavaOp::VolatileStore(Loc::SharedRw(1))], &cfg);
+        let segs = lower_thread(&[JavaOp::VolatileStore(Loc::SharedRw(1))], cfg);
         assert_eq!(
             count_sites(&segs, |c| *c == Composite::Volatile.combined()),
             2,
@@ -344,7 +349,7 @@ mod tests {
                 JavaOp::VolatileLoad(Loc::SharedRw(1)),
                 JavaOp::VolatileStore(Loc::SharedRw(2)),
             ],
-            &cfg,
+            cfg,
         );
         assert_eq!(count_sites(&segs, |_| true), 0);
         // The accesses became acquire/release instructions instead.
@@ -360,7 +365,7 @@ mod tests {
     #[test]
     fn ref_store_emits_card_mark() {
         let cfg = JitConfig::jdk8(Arch::Power7);
-        let segs = lower_thread(&[JavaOp::RefStore(Loc::SharedRw(3))], &cfg);
+        let segs = lower_thread(&[JavaOp::RefStore(Loc::SharedRw(3))], cfg);
         assert_eq!(
             count_sites(&segs, |c| *c == Combined::only(Elemental::StoreStore)),
             1
@@ -372,7 +377,7 @@ mod tests {
         let ops = [JavaOp::MonitorEnter(1), JavaOp::MonitorExit(1)];
         let unpatched = lower_thread(
             &ops,
-            &JitConfig {
+            JitConfig {
                 arch: Arch::ArmV8,
                 volatile_mode: VolatileMode::LoadAcquireStoreRelease,
                 locking_patch: false,
@@ -380,7 +385,7 @@ mod tests {
         );
         let patched = lower_thread(
             &ops,
-            &JitConfig {
+            JitConfig {
                 arch: Arch::ArmV8,
                 volatile_mode: VolatileMode::LoadAcquireStoreRelease,
                 locking_patch: true,
@@ -393,7 +398,7 @@ mod tests {
     #[test]
     fn power_monitor_exit_is_release_site() {
         let cfg = JitConfig::jdk8(Arch::Power7);
-        let segs = lower_thread(&[JavaOp::MonitorExit(1)], &cfg);
+        let segs = lower_thread(&[JavaOp::MonitorExit(1)], cfg);
         assert_eq!(
             count_sites(&segs, |c| *c == Composite::Release.combined()),
             1
@@ -409,7 +414,7 @@ mod tests {
                 JavaOp::Work(20),
                 JavaOp::FieldLoad(Loc::Private(1)),
             ],
-            &cfg,
+            cfg,
         );
         assert_eq!(segs.len(), 1, "adjacent plain ops coalesce: {segs:?}");
     }

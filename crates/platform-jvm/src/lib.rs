@@ -1,9 +1,9 @@
 //! # wmm-jvm
 //!
-//! A Hotspot-like **platform model**: the OpenJDK memory-barrier machinery of
+//! A Hotspot-like **platform model**: the `OpenJDK` memory-barrier machinery of
 //! §4.2 of *Benchmarking Weak Memory Models*.
 //!
-//! Within OpenJDK the Java Memory Model is enforced by *elemental* memory
+//! Within `OpenJDK` the Java Memory Model is enforced by *elemental* memory
 //! barriers — `LoadLoad`, `LoadStore`, `StoreLoad`, `StoreStore` — generated
 //! by the JIT compiler, plus higher-level composites (`Volatile`, `Acquire`,
 //! `Release`, `LoadFence`, `StoreFence`). The assembler then lowers each
@@ -11,10 +11,10 @@
 //!
 //! * **POWER**: `StoreLoad` becomes `sync` (hwsync); every other elemental
 //!   becomes `lwsync`.
-//! * **ARMv8, JDK8 behaviour** (`-XX:+UseBarriersForVolatile`): `LoadLoad`
+//! * **`ARMv8`, JDK8 behaviour** (`-XX:+UseBarriersForVolatile`): `LoadLoad`
 //!   and `LoadStore` become `dmb ishld`, `StoreStore` becomes `dmb ishst`,
 //!   `StoreLoad` becomes `dmb ish`.
-//! * **ARMv8, JDK9 behaviour**: volatile accesses use load-acquire /
+//! * **`ARMv8`, JDK9 behaviour**: volatile accesses use load-acquire /
 //!   store-release instructions (`ldar`/`stlr`) instead of barriers.
 //!
 //! The crate exposes:

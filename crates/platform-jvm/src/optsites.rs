@@ -41,6 +41,7 @@ impl OptPass {
     ];
 
     /// Label for reports.
+    #[must_use]
     pub fn name(self) -> &'static str {
         match self {
             OptPass::EscapeAnalysis => "escape-analysis",
@@ -50,6 +51,7 @@ impl OptPass {
     }
 
     /// Does this pass annotate the given Java operation?
+    #[must_use]
     pub fn fires_at(self, op: &JavaOp) -> bool {
         match self {
             OptPass::EscapeAnalysis => matches!(op, JavaOp::Alloc(_)),
@@ -101,6 +103,7 @@ impl<S: FencingStrategy<Combined>> FencingStrategy<JvmPath> for OptAwareStrategy
 /// Lower Java operations with optimisation-site annotations: the regular
 /// barrier lowering, plus an `Opt` site before every operation each pass
 /// fires at.
+#[must_use]
 pub fn lower_with_optsites(threads: &[Vec<JavaOp>], cfg: &JitConfig) -> Vec<Vec<Segment<JvmPath>>> {
     threads
         .iter()

@@ -52,13 +52,15 @@ fn lower_power(c: Combined) -> Vec<Instr> {
 impl JvmStrategy {
     /// Replace the lowering of exactly one site combination — the paper's
     /// single-barrier modifications ("we modified the generation of
-    /// StoreStore from lwsync to sync").
+    /// `StoreStore` from lwsync to sync").
+    #[must_use]
     pub fn with_override(mut self, site: Combined, replacement: Vec<Instr>) -> Self {
         self.override_at = Some((site, replacement));
         self
     }
 
     /// Rename (for report labelling of modified strategies).
+    #[must_use]
     pub fn named(mut self, name: impl Into<String>) -> Self {
         self.name = name.into();
         self
@@ -83,8 +85,9 @@ impl FencingStrategy<Combined> for JvmStrategy {
     }
 }
 
-/// The JDK8/`-XX:+UseBarriersForVolatile` ARMv8 strategy (all `dmb`s) —
+/// The JDK8/`-XX:+UseBarriersForVolatile` `ARMv8` strategy (all `dmb`s) —
 /// the paper's base case on ARM.
+#[must_use]
 pub fn arm_jdk8_barriers() -> JvmStrategy {
     JvmStrategy {
         name: "arm-jdk8-barriers".into(),
@@ -94,6 +97,7 @@ pub fn arm_jdk8_barriers() -> JvmStrategy {
 }
 
 /// The POWER strategy used by both JDK8 and the in-development JDK9.
+#[must_use]
 pub fn power_jdk9() -> JvmStrategy {
     JvmStrategy {
         name: "power-jdk9".into(),
@@ -104,6 +108,7 @@ pub fn power_jdk9() -> JvmStrategy {
 
 /// §4.2.1 experiment: ARM `StoreStore` generated as `dmb ish` instead of
 /// `dmb ishst` (observed: a statistically significant 0.7% drop on spark).
+#[must_use]
 pub fn arm_storestore_as_full() -> JvmStrategy {
     arm_jdk8_barriers()
         .with_override(
@@ -115,6 +120,7 @@ pub fn arm_storestore_as_full() -> JvmStrategy {
 
 /// §4.2.1 experiment: POWER `StoreStore` generated as `sync` instead of
 /// `lwsync` (observed: a 12.5% drop on spark).
+#[must_use]
 pub fn power_storestore_as_sync() -> JvmStrategy {
     power_jdk9()
         .with_override(

@@ -8,13 +8,13 @@
 //! `include/asm/barriers.h`. This crate models:
 //!
 //! * [`macros`] — the 14 macros the paper investigates (`smp_mb`,
-//!   `read_once`, `read_barrier_depends`, …) and their default ARMv8
+//!   `read_once`, `read_barrier_depends`, …) and their default `ARMv8`
 //!   lowerings (only `smp_mb` and friends produce instructions; `read_once`,
 //!   `write_once` and `read_barrier_depends` are compiler-only);
 //! * [`rbd`] — the six `read_barrier_depends` fencing strategies of Fig. 10:
 //!   `base case`, `ctrl`, `ctrl+isb`, `dmb ishld`, `dmb ish` and `la/sr`
 //!   (which also annotates `READ_ONCE`/`WRITE_ONCE`), each "replicating a
-//!   method for introducing ordering dependencies from the ARMv8 manual";
+//!   method for introducing ordering dependencies from the `ARMv8` manual";
 //! * [`services`] — kernel code paths (syscall entry, network TX/RX over
 //!   loopback, RCU read sections, page allocation, scheduler wakeups) as
 //!   segment generators with macro sites at realistic densities, from which

@@ -1,4 +1,4 @@
-//! The kernel's memory-model macros and their default ARMv8 lowerings.
+//! The kernel's memory-model macros and their default `ARMv8` lowerings.
 
 use wmm_sim::isa::{FenceKind, Instr};
 use wmmbench::strategy::FencingStrategy;
@@ -57,6 +57,7 @@ impl KMacro {
     ];
 
     /// Macro name as written in kernel source.
+    #[must_use]
     pub fn name(self) -> &'static str {
         match self {
             KMacro::SmpMb => "smp_mb",
@@ -86,21 +87,24 @@ pub struct KernelStrategy {
 
 impl KernelStrategy {
     /// Add an override.
+    #[must_use]
     pub fn with(mut self, m: KMacro, seq: Vec<Instr>) -> Self {
         self.overrides.push((m, seq));
         self
     }
 
     /// Rename.
+    #[must_use]
     pub fn named(mut self, name: impl Into<String>) -> Self {
         self.name = name.into();
         self
     }
 
-    /// Default lowering of a macro on ARMv8 Linux 4.2 (§4.3):
+    /// Default lowering of a macro on `ARMv8` Linux 4.2 (§4.3):
     /// `smp_mb` is `dmb ish`; the read/write barriers use the `ishld`/`ishst`
     /// variants; acquire/release map to their nearest `dmb` flavour; the
     /// `_ONCE` macros and `read_barrier_depends` are compiler-only.
+    #[must_use]
     pub fn default_lowering(m: KMacro) -> Vec<Instr> {
         match m {
             KMacro::SmpMb
@@ -108,13 +112,16 @@ impl KernelStrategy {
             | KMacro::SmpMbAfterAtomic
             | KMacro::SmpStoreMb
             | KMacro::Mb => vec![Instr::Fence(FenceKind::DmbIsh)],
-            KMacro::SmpRmb | KMacro::Rmb => vec![Instr::Fence(FenceKind::DmbIshLd)],
-            KMacro::SmpWmb | KMacro::Wmb => vec![Instr::Fence(FenceKind::DmbIshSt)],
-            // ldar/stlr stand-ins: ordering-equivalent dmb flavours (the
-            // timing model gives acquire/release their own costs only when
-            // attached to an access; a site is a pure instruction sequence).
-            KMacro::SmpLoadAcquire => vec![Instr::Fence(FenceKind::DmbIshLd)],
-            KMacro::SmpStoreRelease => vec![Instr::Fence(FenceKind::DmbIshSt)],
+            // smp_load_acquire/smp_store_release are ldar/stlr stand-ins:
+            // ordering-equivalent dmb flavours (the timing model gives
+            // acquire/release their own costs only when attached to an
+            // access; a site is a pure instruction sequence).
+            KMacro::SmpRmb | KMacro::Rmb | KMacro::SmpLoadAcquire => {
+                vec![Instr::Fence(FenceKind::DmbIshLd)]
+            }
+            KMacro::SmpWmb | KMacro::Wmb | KMacro::SmpStoreRelease => {
+                vec![Instr::Fence(FenceKind::DmbIshSt)]
+            }
             KMacro::ReadOnce | KMacro::WriteOnce | KMacro::ReadBarrierDepends => {
                 vec![Instr::Fence(FenceKind::Compiler)]
             }
@@ -137,8 +144,9 @@ impl FencingStrategy<KMacro> for KernelStrategy {
     }
 }
 
-/// The unmodified ARMv8 kernel 4.2 strategy — the base case of §4.3 (after
+/// The unmodified `ARMv8` kernel 4.2 strategy — the base case of §4.3 (after
 /// nop padding, which `wmmbench::image` adds automatically).
+#[must_use]
 pub fn default_arm_strategy() -> KernelStrategy {
     KernelStrategy {
         name: "linux-4.2-arm64-default".into(),

@@ -1,7 +1,7 @@
 //! The six `read_barrier_depends` fencing strategies of Fig. 10.
 //!
 //! §4.3.1: "Each of these test cases replicates a method for introducing
-//! ordering dependencies from the ARMv8 manual [B2.7.4]":
+//! ordering dependencies from the `ARMv8` manual [B2.7.4]":
 //!
 //! * **base case** — the default kernel: `read_barrier_depends` is a
 //!   compiler barrier, padded with `nop`s;
@@ -16,6 +16,7 @@
 //!   intention of adding load-acquire/store-release semantics across all
 //!   annotated reads and writes".
 
+use wmm_litmus::ops::DepKind;
 use wmm_sim::isa::{FenceKind, Instr, Mispredict};
 
 use crate::macros::{default_arm_strategy, KMacro, KernelStrategy};
@@ -49,6 +50,7 @@ impl RbdStrategy {
     ];
 
     /// Label as printed in Fig. 10.
+    #[must_use]
     pub fn label(self) -> &'static str {
         match self {
             RbdStrategy::BaseCase => "base case",
@@ -60,8 +62,24 @@ impl RbdStrategy {
         }
     }
 
+    /// The dependency this strategy's `read_barrier_depends` sequence
+    /// establishes from the preceding load to later accesses, in litmus
+    /// terms: the ctrl variants compare against the loaded value, so they
+    /// carry a real control (or control+isb) dependency; the fence and
+    /// base-case variants carry none — their ordering, if any, comes from
+    /// the emitted fence instruction itself.
+    #[must_use]
+    pub fn dep_kind(self) -> Option<DepKind> {
+        match self {
+            RbdStrategy::Ctrl => Some(DepKind::Ctrl),
+            RbdStrategy::CtrlIsb => Some(DepKind::CtrlIsb),
+            _ => None,
+        }
+    }
+
     /// The instruction sequence this strategy uses for
     /// `read_barrier_depends` itself.
+    #[must_use]
     pub fn rbd_sequence(self) -> Vec<Instr> {
         match self {
             RbdStrategy::BaseCase => vec![Instr::Fence(FenceKind::Compiler)],
@@ -80,14 +98,18 @@ impl RbdStrategy {
                 Instr::CondBranch(Mispredict::Never),
                 Instr::Fence(FenceKind::Isb),
             ],
-            RbdStrategy::DmbIshld => vec![Instr::Fence(FenceKind::DmbIshLd)],
+            // la/sr uses dmb ishld for read_barrier_depends itself; its
+            // extra _ONCE annotations are added in `rbd_strategy`.
+            RbdStrategy::DmbIshld | RbdStrategy::LaSr => {
+                vec![Instr::Fence(FenceKind::DmbIshLd)]
+            }
             RbdStrategy::DmbIsh => vec![Instr::Fence(FenceKind::DmbIsh)],
-            RbdStrategy::LaSr => vec![Instr::Fence(FenceKind::DmbIshLd)],
         }
     }
 }
 
 /// Build the full kernel strategy for a Fig. 10 test case.
+#[must_use]
 pub fn rbd_strategy(which: RbdStrategy) -> KernelStrategy {
     let mut s = default_arm_strategy()
         .with(KMacro::ReadBarrierDepends, which.rbd_sequence())
@@ -103,6 +125,7 @@ pub fn rbd_strategy(which: RbdStrategy) -> KernelStrategy {
 /// The largest footprint any strategy needs at a macro site, in words —
 /// used for the shared envelope so all six test kernels have identical
 /// code-section sizes.
+#[must_use]
 pub fn max_site_words() -> u64 {
     RbdStrategy::ALL
         .iter()

@@ -50,8 +50,14 @@ mod lines {
 impl Service {
     /// Append this service's hot path to `out`. `rng` varies line selection
     /// and path lengths so repeated invocations are not identical.
+    // One arm per service; each arm is a barrier-usage vignette and reads
+    // as a unit.
+    #[allow(clippy::too_many_lines)]
     pub fn emit(&self, out: &mut Vec<Segment<KMacro>>, rng: &mut SplitMix64) {
-        use KMacro::*;
+        use KMacro::{
+            Mb, ReadBarrierDepends, ReadOnce, Rmb, SmpLoadAcquire, SmpMb, SmpMbAfterAtomic,
+            SmpMbBeforeAtomic, SmpRmb, SmpStoreMb, SmpStoreRelease, SmpWmb, Wmb, WriteOnce,
+        };
         let code = |v: Vec<Instr>| Segment::Code(v);
         let site = |m: KMacro| Segment::Site(m);
         let ld = |l: u64| Instr::Load {
@@ -86,23 +92,23 @@ impl Service {
                 out.push(code(vec![ld(r + 2)]));
             }
             Service::NetTx => {
-                let ring = lines::RING + rng.next_below(4);
+                let ring_line = lines::RING + rng.next_below(4);
                 out.push(code(vec![work(60)])); // skb build
                 out.push(site(WriteOnce)); // descriptor fill
-                out.push(code(vec![st(ring)]));
+                out.push(code(vec![st(ring_line)]));
                 out.push(site(SmpWmb)); // publish before index update
                 out.push(site(WriteOnce));
-                out.push(code(vec![st(ring + 1)]));
+                out.push(code(vec![st(ring_line + 1)]));
                 out.push(site(SmpMb)); // doorbell / peer wakeup
                 out.push(code(vec![work(20)]));
             }
             Service::NetRx => {
-                let ring = lines::RING + rng.next_below(4);
+                let ring_line = lines::RING + rng.next_below(4);
                 out.push(site(ReadOnce)); // index poll
-                out.push(code(vec![ld(ring + 1)]));
+                out.push(code(vec![ld(ring_line + 1)]));
                 out.push(site(SmpRmb)); // index before descriptor
                 out.push(site(ReadBarrierDepends)); // descriptor deref
-                out.push(code(vec![ld(ring), work(50)]));
+                out.push(code(vec![ld(ring_line), work(50)]));
                 out.push(site(ReadBarrierDepends)); // skb data deref
                 out.push(code(vec![ld(lines::SOCK)]));
                 out.push(site(SmpMb)); // socket state / wakeup
@@ -164,6 +170,7 @@ impl Service {
     }
 
     /// Count macro sites this service emits per invocation (deterministic).
+    #[must_use]
     pub fn site_count(&self) -> usize {
         let mut out = vec![];
         let mut rng = SplitMix64::new(0);

@@ -8,6 +8,8 @@
 //! * [`wmm_stats`] — curve fitting, Student-t intervals, summary statistics.
 //! * [`wmm_sim`] — deterministic timing simulator of weak-memory multicores.
 //! * [`wmm_litmus`] — operational semantics explorer and litmus suite.
+//! * [`wmm_analyze`] — static fence-placement analysis: Shasha–Snir
+//!   critical cycles, per-model protection checks, redundant-fence lints.
 //! * [`wmmbench`] — the paper's methodology: cost functions, injection,
 //!   sensitivity modelling, cost estimation and rankings.
 //! * [`wmm_jvm`] — Hotspot-like platform (elemental barriers, JDK8/9
@@ -19,6 +21,7 @@
 //!   scheduler, result cache, run manifests and the regression gate.
 //! * [`wmm_bench`] — experiment drivers regenerating every paper artefact.
 
+pub use wmm_analyze;
 pub use wmm_bench;
 pub use wmm_harness;
 pub use wmm_jvm;
