@@ -1,0 +1,109 @@
+//! Fence-cost attribution: the simulator's observed stall cycles per fence
+//! execution, printed next to the Eq. 2 inferred cost for the Fig. 5 ARMv8
+//! and Fig. 9 kernel campaigns.
+//!
+//! The methodology's central promise (§3) is that a fitted sensitivity `k`
+//! turns any measured performance ratio into an equivalent ns-per-invocation
+//! cost. The telemetry seam makes that auditable end-to-end: every fence the
+//! simulator executes records its stall cycles, so the same fencing change
+//! can be costed two independent ways —
+//!
+//! * **observed**: attributed stall cycles / fence executions, straight from
+//!   the `ExecStats` flowing through `run_batch_stats`;
+//! * **Eq. 2**: `estimate_cost(k, p)` from the measured ratio `p` and the
+//!   benchmark's sweep-fitted `k`.
+//!
+//! The two agree within 2× on every reported row; `--strict` (used in CI)
+//! exits non-zero if any row disagrees by more.
+//!
+//! Flags: `--quick` (reduced protocol), `--threads N`, `--progress`,
+//! `--trace <path>` (Chrome-trace timeline), `--strict`. The result cache
+//! is always in-memory: attribution needs freshly simulated statistics, so
+//! a pre-populated disk cache would leave nothing to observe.
+//!
+//! Writes `results/runs/fence_attribution.json` (schema v2, telemetry
+//! included) for the `bench_gate` regression gate.
+
+use wmm_bench::{
+    cli_config, cli_flag, cli_threads, cli_trace, fig5_arm_fence_attribution,
+    fig9_fence_attribution, runs_dir, AttributionReport,
+};
+use wmm_harness::{ParallelExecutor, RunManifest, SimCache};
+use wmmbench::report::Table;
+
+fn main() {
+    let cfg = cli_config();
+    let exec = ParallelExecutor::new(cli_threads())
+        .with_progress(cli_flag("--progress"))
+        .with_trace(cli_trace().is_some())
+        .with_cache(SimCache::in_memory());
+
+    println!("Fence attribution — observed stall cycles vs Eq. 2 inferred cost");
+    let fig5 = fig5_arm_fence_attribution(cfg, &exec);
+    let fig9 = fig9_fence_attribution(cfg, &exec);
+
+    let mut table = Table::new(&[
+        "campaign",
+        "benchmark",
+        "fence",
+        "k",
+        "rel_perf",
+        "fences",
+        "observed_ns",
+        "eq2_ns",
+        "agree",
+    ]);
+    let mut manifest = RunManifest::new("fence_attribution", "arm");
+    let mut worst: f64 = 1.0;
+    for report in [&fig5, &fig9] {
+        for (label, fit) in &report.fits {
+            manifest.push_fit(label, fit);
+        }
+        for r in &report.rows {
+            let agree = r.agreement();
+            worst = worst.max(agree);
+            table.row(vec![
+                r.campaign.to_string(),
+                r.bench.clone(),
+                r.fence.to_string(),
+                format!("{:.5}", r.k),
+                format!("{:.4}", r.rel_perf),
+                r.fence_execs.to_string(),
+                format!("{:.2}", r.observed_ns),
+                format!("{:.2}", r.eq2_ns),
+                format!("{agree:.2}x"),
+            ]);
+            let stem = format!("{}/{}/{}", r.campaign, r.bench, r.fence);
+            if r.observed_ns.is_finite() && r.eq2_ns.is_finite() {
+                manifest.push_cell(format!("{stem}/observed_ns"), r.observed_ns);
+                manifest.push_cell(format!("{stem}/eq2_ns"), r.eq2_ns);
+            }
+        }
+    }
+    println!("{}", table.markdown());
+
+    let count = |r: &AttributionReport| r.rows.len();
+    println!(
+        "{} rows ({} fig5-arm, {} fig9-kernel); worst observed-vs-Eq.2 agreement {worst:.2}x",
+        count(&fig5) + count(&fig9),
+        count(&fig5),
+        count(&fig9)
+    );
+    let pass = worst <= 2.0;
+    println!(
+        "agreement threshold 2.00x: {}",
+        if pass { "PASS" } else { "FAIL" }
+    );
+
+    manifest.telemetry = Some(exec.telemetry());
+    let manifest_path = manifest.write(runs_dir()).expect("write manifest");
+    println!("wrote {}", manifest_path.display());
+    if let Some(path) = cli_trace() {
+        exec.write_trace(&path).expect("write trace");
+        println!("wrote {}", path.display());
+    }
+    println!("[wmm-harness] {}", exec.summary());
+    if !pass && cli_flag("--strict") {
+        std::process::exit(1);
+    }
+}

@@ -3,11 +3,14 @@
 //! benchmarks on both architectures, with fitted sensitivities.
 //!
 //! Runs through the wmm-harness parallel executor (`--threads N`,
-//! `--cache`, `--progress`) and writes a schema-versioned run manifest to
-//! `results/runs/fig5_openjdk_sweep.json` for the `bench_gate` regression
-//! gate. Output is bit-identical regardless of worker count.
+//! `--cache`, `--progress`, `--trace <path>`) and writes a schema-versioned
+//! run manifest to `results/runs/fig5_openjdk_sweep.json` for the
+//! `bench_gate` regression gate. Output is bit-identical regardless of
+//! worker count.
 
-use wmm_bench::{cli_config, cli_executor, fig5_openjdk_sweeps_with, results_dir, runs_dir};
+use wmm_bench::{
+    cli_config, cli_executor, cli_trace, fig5_openjdk_sweeps_with, results_dir, runs_dir,
+};
 use wmm_harness::RunManifest;
 use wmm_sim::arch::Arch;
 use wmmbench::report::Table;
@@ -76,8 +79,11 @@ fn main() {
                     format!("{:.5}", p.rel_min),
                     format!("{:.5}", p.rel_max),
                 ]);
+                // Label by the requested target: neighbouring small targets
+                // can calibrate to the same actual ns, and the gate rejects
+                // duplicate labels.
                 manifest.push_cell(
-                    format!("{}/{}/a={:.2}", s.benchmark, arch.label(), p.actual_ns),
+                    format!("{}/{}/t={:.0}", s.benchmark, arch.label(), p.target_ns),
                     p.rel_perf,
                 );
             }
@@ -93,5 +99,9 @@ fn main() {
     manifest.telemetry = Some(exec.telemetry());
     let manifest_path = manifest.write(runs_dir()).expect("write manifest");
     println!("wrote {}", manifest_path.display());
+    if let Some(path) = cli_trace() {
+        exec.write_trace(&path).expect("write trace");
+        println!("wrote {}", path.display());
+    }
     println!("[wmm-harness] {}", exec.summary());
 }

@@ -4,11 +4,11 @@
 //! `read_once` and `read_barrier_depends` have the most impact.
 //!
 //! Runs through the wmm-harness parallel executor (`--threads N`,
-//! `--cache`, `--progress`) and writes a run manifest to
+//! `--cache`, `--progress`, `--trace <path>`) and writes a run manifest to
 //! `results/runs/fig7_macro_ranking.json` for the `bench_gate` regression
 //! gate. Output is bit-identical regardless of worker count.
 
-use wmm_bench::{cli_config, cli_executor, linux_ranking_with, results_dir, runs_dir};
+use wmm_bench::{cli_config, cli_executor, cli_trace, linux_ranking_with, results_dir, runs_dir};
 use wmm_harness::RunManifest;
 use wmmbench::report::Table;
 
@@ -41,5 +41,9 @@ fn main() {
     manifest.telemetry = Some(exec.telemetry());
     let manifest_path = manifest.write(runs_dir()).expect("write manifest");
     println!("wrote {}", manifest_path.display());
+    if let Some(path) = cli_trace() {
+        exec.write_trace(&path).expect("write trace");
+        println!("wrote {}", path.display());
+    }
     println!("[wmm-harness] {}", exec.summary());
 }

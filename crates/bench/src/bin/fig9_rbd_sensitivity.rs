@@ -1,7 +1,13 @@
 //! Fig. 9: sensitivity analysis of the six most interesting kernel
 //! benchmarks with respect to the `read_barrier_depends` code path.
+//!
+//! Runs through the wmm-harness parallel executor (`--threads N`,
+//! `--cache`, `--progress`, `--trace <path>`) and writes a run manifest to
+//! `results/runs/fig9_rbd_sensitivity.json` for the `bench_gate`
+//! regression gate. Output is bit-identical regardless of worker count.
 
-use wmm_bench::{cli_config, fig9_rbd_sweeps, results_dir};
+use wmm_bench::{cli_config, cli_executor, cli_trace, fig9_rbd_sweeps_with, results_dir, runs_dir};
+use wmm_harness::RunManifest;
 use wmmbench::report::{ascii_sweep, Table};
 
 const PAPER: [(&str, f64); 6] = [
@@ -15,10 +21,12 @@ const PAPER: [(&str, f64); 6] = [
 
 fn main() {
     let cfg = cli_config();
+    let exec = cli_executor();
     println!("Fig. 9 — read_barrier_depends sensitivity");
-    let sweeps = fig9_rbd_sweeps(cfg);
+    let sweeps = fig9_rbd_sweeps_with(cfg, &exec);
     let mut t = Table::new(&["benchmark", "k", "k_err_pct", "k_paper"]);
     let mut csv = Table::new(&["benchmark", "cost_ns", "rel_perf", "rel_min", "rel_max"]);
+    let mut manifest = RunManifest::new("fig9_rbd_sensitivity", "arm");
     for s in &sweeps {
         let paper = PAPER
             .iter()
@@ -36,6 +44,9 @@ fn main() {
             format!("{err:.0}"),
             format!("{paper:.5}"),
         ]);
+        if let Some(fit) = &s.fit {
+            manifest.push_fit(&s.benchmark, fit);
+        }
         for p in &s.points {
             csv.row(vec![
                 s.benchmark.clone(),
@@ -44,6 +55,10 @@ fn main() {
                 format!("{:.5}", p.rel_min),
                 format!("{:.5}", p.rel_max),
             ]);
+            // Label by the requested target, not the calibrated actual:
+            // neighbouring small targets can calibrate to the same actual
+            // ns and the gate rejects duplicate labels.
+            manifest.push_cell(format!("{}/t={:.0}", s.benchmark, p.target_ns), p.rel_perf);
         }
     }
     println!("{}", t.markdown());
@@ -55,4 +70,13 @@ fn main() {
     let path = results_dir().join("fig9_rbd.csv");
     csv.write_csv(&path).expect("write csv");
     println!("wrote {}", path.display());
+
+    manifest.telemetry = Some(exec.telemetry());
+    let manifest_path = manifest.write(runs_dir()).expect("write manifest");
+    println!("wrote {}", manifest_path.display());
+    if let Some(path) = cli_trace() {
+        exec.write_trace(&path).expect("write trace");
+        println!("wrote {}", path.display());
+    }
+    println!("[wmm-harness] {}", exec.summary());
 }

@@ -16,8 +16,22 @@
 //! deterministic in `(program, ctx, seed)`), so any executor that preserves
 //! order produces bit-identical experiment output regardless of worker
 //! count.
+//!
+//! # Telemetry through the seam
+//!
+//! The simulator counts every fence execution and stall cycle
+//! ([`ExecStats`]), and discarding that ground truth at the seam would make
+//! the methodology's Eq. 2 cost estimates impossible to audit. So the
+//! primitive batch operation is [`Executor::run_batch_stats`], which returns
+//! one [`JobOutcome`] per job: always the wall time, plus the full
+//! [`ExecStats`] whenever the job was actually simulated. A caching executor
+//! answers repeat jobs from a wall-time-only store, so a cache hit carries
+//! `stats: None` — callers that aggregate telemetry count only the observed
+//! (freshly simulated) jobs. [`Executor::run_batch`] is the scalar
+//! projection every measurement path uses.
 
 use wmm_sim::machine::{Program, WorkloadCtx};
+use wmm_sim::stats::ExecStats;
 use wmm_sim::Machine;
 
 /// One independent simulation cell: everything `Machine::run` needs.
@@ -38,16 +52,61 @@ pub struct SimJob<'a> {
 impl SimJob<'_> {
     /// Run this job to completion, returning the simulated wall time (ns).
     pub fn run(&self) -> f64 {
-        self.machine
-            .run(&self.program, &self.ctx, self.seed)
-            .wall_ns
+        self.run_stats().wall_ns
+    }
+
+    /// Run this job to completion, returning the full execution statistics
+    /// (wall time, per-core cycles, event counters, fence stall cycles).
+    pub fn run_stats(&self) -> ExecStats {
+        self.machine.run(&self.program, &self.ctx, self.seed)
+    }
+}
+
+/// The result of one job through the seam: the wall time that defines the
+/// experiment's output, plus the simulator's full statistics when the job
+/// was freshly simulated (`None` means the wall time came from a result
+/// cache, which stores only the scalar).
+pub struct JobOutcome {
+    /// Simulated wall-clock time, ns — identical to what `run_batch`
+    /// returns for this job.
+    pub wall_ns: f64,
+    /// Full execution statistics, when observed.
+    pub stats: Option<ExecStats>,
+}
+
+impl JobOutcome {
+    /// An outcome observed by actually running the simulation.
+    pub fn observed(stats: ExecStats) -> Self {
+        JobOutcome {
+            wall_ns: stats.wall_ns,
+            stats: Some(stats),
+        }
+    }
+
+    /// An outcome answered from a wall-time-only cache.
+    pub fn cached(wall_ns: f64) -> Self {
+        JobOutcome {
+            wall_ns,
+            stats: None,
+        }
     }
 }
 
 /// Strategy for draining a batch of independent simulation jobs.
 pub trait Executor: Sync {
-    /// Run every job and return the wall times (ns) **in job order**.
-    fn run_batch(&self, jobs: Vec<SimJob<'_>>) -> Vec<f64>;
+    /// Run every job and return one [`JobOutcome`] per job **in job
+    /// order**. Wall times must be bit-identical to what direct
+    /// `SimJob::run` calls would produce.
+    fn run_batch_stats(&self, jobs: Vec<SimJob<'_>>) -> Vec<JobOutcome>;
+
+    /// Run every job and return the wall times (ns) **in job order** — the
+    /// scalar projection of [`Executor::run_batch_stats`].
+    fn run_batch(&self, jobs: Vec<SimJob<'_>>) -> Vec<f64> {
+        self.run_batch_stats(jobs)
+            .into_iter()
+            .map(|o| o.wall_ns)
+            .collect()
+    }
 }
 
 /// The default executor: runs jobs sequentially on the calling thread.
@@ -55,8 +114,10 @@ pub trait Executor: Sync {
 pub struct SerialExecutor;
 
 impl Executor for SerialExecutor {
-    fn run_batch(&self, jobs: Vec<SimJob<'_>>) -> Vec<f64> {
-        jobs.iter().map(SimJob::run).collect()
+    fn run_batch_stats(&self, jobs: Vec<SimJob<'_>>) -> Vec<JobOutcome> {
+        jobs.iter()
+            .map(|j| JobOutcome::observed(j.run_stats()))
+            .collect()
     }
 }
 
@@ -64,7 +125,7 @@ impl Executor for SerialExecutor {
 mod tests {
     use super::*;
     use wmm_sim::arch::armv8_xgene1;
-    use wmm_sim::isa::Instr;
+    use wmm_sim::isa::{FenceKind, Instr};
 
     #[test]
     fn serial_executor_matches_direct_runs() {
@@ -81,5 +142,34 @@ mod tests {
         let batched = SerialExecutor.run_batch(jobs);
         assert_eq!(batched, direct);
         assert!(batched[1] > batched[0]);
+    }
+
+    #[test]
+    fn stats_batch_carries_full_exec_stats() {
+        let machine = Machine::new(armv8_xgene1());
+        let job = SimJob {
+            machine: &machine,
+            program: Program::new(vec![vec![
+                Instr::Compute { cycles: 100 },
+                Instr::Fence(FenceKind::DmbIsh),
+                Instr::Fence(FenceKind::DmbIsh),
+            ]]),
+            ctx: WorkloadCtx::default(),
+            seed: 9,
+        };
+        let outcomes = SerialExecutor.run_batch_stats(vec![job]);
+        assert_eq!(outcomes.len(), 1);
+        let o = &outcomes[0];
+        let stats = o.stats.as_ref().expect("serial runs always observe");
+        assert_eq!(o.wall_ns, stats.wall_ns);
+        assert_eq!(stats.fences(FenceKind::DmbIsh), 2);
+        assert!(stats.fence_stall_cycles(FenceKind::DmbIsh) > 0.0);
+    }
+
+    #[test]
+    fn cached_outcome_has_no_stats() {
+        let o = JobOutcome::cached(12.5);
+        assert_eq!(o.wall_ns, 12.5);
+        assert!(o.stats.is_none());
     }
 }

@@ -2,23 +2,35 @@
 //!
 //! Every campaign writes a schema-versioned JSON manifest under
 //! `results/runs/`: the per-cell measurements and fitted sensitivities that
-//! define the experiment's outcome, plus a telemetry section (job counts,
-//! timings, cache hit rate, worker count) describing how it ran.
+//! define the experiment's outcome, plus a telemetry section describing how
+//! it ran and what the simulator observed while doing so.
 //!
-//! The two sections have different determinism contracts. The *result*
-//! section is a pure function of the experiment inputs and is what
-//! [`RunManifest::canonical_json`] serialises — byte-identical across
-//! worker counts, cache states and machines. The *telemetry* section is
-//! observational and excluded from the canonical form; the regression gate
-//! compares canonical content only.
+//! The sections have different determinism contracts:
+//!
+//! * The *result* section (cells + fits) is a pure function of the
+//!   experiment inputs — [`RunManifest::canonical_json`] — byte-identical
+//!   across worker counts, cache states and machines. The regression gate
+//!   compares this content only.
+//! * `telemetry.sim` and the telemetry job counters are deterministic
+//!   *given the cache state*: the aggregated [`SimTotals`] cover exactly
+//!   the freshly simulated jobs, merged in job order, so two runs with the
+//!   same cache contents produce identical totals regardless of worker
+//!   count ([`RunManifest::deterministic_json`] includes them).
+//! * `telemetry.timing` is observational (wall clocks, worker count) and
+//!   excluded from every determinism comparison.
 
 use std::path::{Path, PathBuf};
 
+use wmm_sim::isa::FenceKind;
+use wmm_sim::stats::{Counters, ExecStats};
 use wmmbench::json::{Json, ToJson};
 use wmmbench::model::SensitivityFit;
 
 /// Manifest schema version; bump on any breaking layout change.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: `telemetry` split into deterministic counters (`sim`, aggregated
+/// `ExecStats`) and observational `timing`.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// One scalar measurement cell (e.g. a sweep point's relative performance,
 /// a ranking-matrix entry), identified by a stable label.
@@ -43,12 +55,136 @@ pub struct FitRecord {
     pub r_squared: f64,
 }
 
-/// How a campaign ran: counters from the executor, excluded from the
-/// canonical (gated) manifest content.
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct Telemetry {
+/// Campaign-level aggregate of the simulator's own ground truth: every
+/// freshly simulated job's [`ExecStats`], merged in job order.
+///
+/// Cache hits contribute nothing (the cache stores only wall times), so
+/// `jobs_observed` says how many jobs these totals cover. Cycle sums are
+/// `f64` and merged in a fixed order, so totals are bit-identical across
+/// worker counts for a given cache state.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct SimTotals {
+    /// Simulated jobs contributing to the totals.
+    pub jobs_observed: u64,
+    /// Event counters summed over those jobs (fence counts and stall
+    /// cycles by kind, memory-hierarchy outcomes, cost-loop invocations…).
+    pub counters: Counters,
+    /// Store-buffer capacity stalls summed over those jobs.
+    pub sb_stalls: u64,
+    /// Cycles lost to store-buffer capacity stalls.
+    pub sb_stall_cycles: f64,
+}
+
+impl SimTotals {
+    /// Fold one freshly simulated job's statistics into the totals.
+    pub fn merge_stats(&mut self, stats: &ExecStats) {
+        self.jobs_observed += 1;
+        self.counters.merge(&stats.counters);
+        self.sb_stalls += stats.sb_stalls;
+        self.sb_stall_cycles += stats.sb_stall_cycles;
+    }
+
+    /// Total fence executions across all kinds.
+    pub fn total_fences(&self) -> u64 {
+        FenceKind::ALL
+            .iter()
+            .map(|&k| self.counters.fence_counts.get(&k).copied().unwrap_or(0))
+            .sum()
+    }
+
+    /// Total cycles stalled in fences across all kinds, summed in the
+    /// stable [`FenceKind::ALL`] order.
+    pub fn total_fence_stall_cycles(&self) -> f64 {
+        FenceKind::ALL
+            .iter()
+            .map(|&k| self.counters.fence_cycles.get(&k).copied().unwrap_or(0.0))
+            .sum()
+    }
+
+    /// Observed mean stall cycles per executed fence of `kind`, if any.
+    pub fn mean_fence_cycles(&self, kind: FenceKind) -> Option<f64> {
+        let n = *self.counters.fence_counts.get(&kind).unwrap_or(&0);
+        if n == 0 {
+            None
+        } else {
+            Some(self.counters.fence_cycles.get(&kind).unwrap_or(&0.0) / n as f64)
+        }
+    }
+}
+
+impl ToJson for SimTotals {
+    fn to_json(&self) -> Json {
+        let c = &self.counters;
+        let fences: Vec<Json> = FenceKind::ALL
+            .iter()
+            .filter_map(|&kind| {
+                let count = *c.fence_counts.get(&kind).unwrap_or(&0);
+                let cycles = *c.fence_cycles.get(&kind).unwrap_or(&0.0);
+                if count == 0 && cycles == 0.0 {
+                    return None;
+                }
+                Some(Json::obj(vec![
+                    ("kind", kind.mnemonic().to_json()),
+                    ("count", count.to_json()),
+                    ("stall_cycles", Json::Num(cycles)),
+                ]))
+            })
+            .collect();
+        Json::obj(vec![
+            ("jobs_observed", self.jobs_observed.to_json()),
+            ("loads", c.loads.to_json()),
+            ("stores", c.stores.to_json()),
+            ("atomics", c.atomics.to_json()),
+            ("cas_retries", c.cas_retries.to_json()),
+            ("acquires", c.acquires.to_json()),
+            ("releases", c.releases.to_json()),
+            ("mispredicts", c.mispredicts.to_json()),
+            ("l1_hits", c.l1_hits.to_json()),
+            ("llc_hits", c.llc_hits.to_json()),
+            ("dram_accesses", c.dram_accesses.to_json()),
+            ("coherence_transfers", c.coherence_transfers.to_json()),
+            ("cost_loop_invocations", c.cost_loop_invocations.to_json()),
+            ("cost_loop_iters", c.cost_loop_iters.to_json()),
+            ("sb_stalls", self.sb_stalls.to_json()),
+            ("sb_stall_cycles", Json::Num(self.sb_stall_cycles)),
+            ("fences", Json::Arr(fences)),
+        ])
+    }
+}
+
+/// Observational run timings — the only telemetry that legitimately varies
+/// between runs of the same campaign.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct Timing {
     /// Worker threads used.
     pub threads: usize,
+    /// Sum of per-job simulation wall time, ms.
+    pub sim_ms: f64,
+    /// Wall time spent inside `run_batch`, ms.
+    pub wall_ms: f64,
+    /// Wall time of the slowest single batch, ms.
+    pub max_batch_ms: f64,
+    /// Jobs in the largest batch submitted (queue-depth proxy).
+    pub max_batch_jobs: u64,
+}
+
+impl ToJson for Timing {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("threads", self.threads.to_json()),
+            ("sim_ms", Json::Num(self.sim_ms)),
+            ("wall_ms", Json::Num(self.wall_ms)),
+            ("max_batch_ms", Json::Num(self.max_batch_ms)),
+            ("max_batch_jobs", self.max_batch_jobs.to_json()),
+        ])
+    }
+}
+
+/// How a campaign ran: executor counters, aggregated simulator statistics
+/// and run timings. Never gated — the regression gate inspects canonical
+/// content only.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Telemetry {
     /// Batches submitted.
     pub batches: u64,
     /// Total jobs (including cache hits).
@@ -57,10 +193,10 @@ pub struct Telemetry {
     pub cache_hits: u64,
     /// Jobs actually simulated.
     pub cache_misses: u64,
-    /// Sum of per-job simulation wall time, ms.
-    pub sim_ms: f64,
-    /// Wall time spent inside `run_batch`, ms.
-    pub wall_ms: f64,
+    /// Aggregated simulator ground truth over the simulated jobs.
+    pub sim: SimTotals,
+    /// Observational timings (excluded from determinism comparisons).
+    pub timing: Timing,
 }
 
 impl Telemetry {
@@ -72,20 +208,28 @@ impl Telemetry {
             self.cache_hits as f64 / self.jobs as f64
         }
     }
-}
 
-impl ToJson for Telemetry {
-    fn to_json(&self) -> Json {
+    /// The deterministic portion: everything except `timing`. Identical
+    /// across worker counts for a given cache state.
+    pub fn deterministic_json(&self) -> Json {
         Json::obj(vec![
-            ("threads", self.threads.to_json()),
             ("batches", self.batches.to_json()),
             ("jobs", self.jobs.to_json()),
             ("cache_hits", self.cache_hits.to_json()),
             ("cache_misses", self.cache_misses.to_json()),
-            ("cache_hit_rate", Json::Num(self.hit_rate())),
-            ("sim_ms", Json::Num(self.sim_ms)),
-            ("wall_ms", Json::Num(self.wall_ms)),
+            ("sim", self.sim.to_json()),
         ])
+    }
+}
+
+impl ToJson for Telemetry {
+    fn to_json(&self) -> Json {
+        let mut json = self.deterministic_json();
+        if let Json::Obj(pairs) = &mut json {
+            pairs.push(("cache_hit_rate".to_string(), Json::Num(self.hit_rate())));
+            pairs.push(("timing".to_string(), self.timing.to_json()));
+        }
+        json
     }
 }
 
@@ -132,9 +276,9 @@ impl RunManifest {
         });
     }
 
-    /// The deterministic result content: everything except telemetry.
-    /// Byte-identical across worker counts and cache states; this is what
-    /// the determinism tests compare and what the gate inspects.
+    /// The canonical result content: cells and fits only. Byte-identical
+    /// across worker counts and cache states; this is what the gate
+    /// inspects.
     pub fn canonical_json(&self) -> Json {
         Json::obj(vec![
             ("schema_version", SCHEMA_VERSION.to_json()),
@@ -173,8 +317,20 @@ impl RunManifest {
         ])
     }
 
+    /// The deterministic content: canonical result plus the deterministic
+    /// telemetry (everything except `telemetry.timing`). For a given cache
+    /// state this is byte-identical across worker counts — the contract the
+    /// threads-1-vs-N tests assert.
+    pub fn deterministic_json(&self) -> Json {
+        let mut json = self.canonical_json();
+        if let (Json::Obj(pairs), Some(t)) = (&mut json, &self.telemetry) {
+            pairs.push(("telemetry".to_string(), t.deterministic_json()));
+        }
+        json
+    }
+
     /// Serialise to the written manifest file's text (canonical content
-    /// plus the telemetry section).
+    /// plus the full telemetry section, timing included).
     pub fn to_file_text(&self) -> String {
         let mut json = self.canonical_json();
         if let (Json::Obj(pairs), Some(t)) = (&mut json, &self.telemetry) {
@@ -247,15 +403,10 @@ impl RunManifest {
                 r_squared: num(f, "r_squared")?,
             });
         }
-        let telemetry = json.get("telemetry").map(|t| Telemetry {
-            threads: t.get("threads").and_then(Json::as_f64).unwrap_or(0.0) as usize,
-            batches: t.get("batches").and_then(Json::as_f64).unwrap_or(0.0) as u64,
-            jobs: t.get("jobs").and_then(Json::as_f64).unwrap_or(0.0) as u64,
-            cache_hits: t.get("cache_hits").and_then(Json::as_f64).unwrap_or(0.0) as u64,
-            cache_misses: t.get("cache_misses").and_then(Json::as_f64).unwrap_or(0.0) as u64,
-            sim_ms: t.get("sim_ms").and_then(Json::as_f64).unwrap_or(0.0),
-            wall_ms: t.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0),
-        });
+        let telemetry = match json.get("telemetry") {
+            None => None,
+            Some(t) => Some(telemetry_from_json(t)?),
+        };
         Ok(RunManifest {
             campaign: field("campaign")?.to_string(),
             arch: field("arch")?.to_string(),
@@ -272,6 +423,60 @@ impl RunManifest {
         let json = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
         Self::from_json(&json).map_err(|e| format!("{}: {e}", path.display()))
     }
+}
+
+fn telemetry_from_json(t: &Json) -> Result<Telemetry, String> {
+    let u = |j: &Json, k: &str| j.get(k).and_then(Json::as_f64).unwrap_or(0.0) as u64;
+    let f = |j: &Json, k: &str| j.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+    let mut sim = SimTotals::default();
+    if let Some(s) = t.get("sim") {
+        sim.jobs_observed = u(s, "jobs_observed");
+        let c = &mut sim.counters;
+        c.loads = u(s, "loads");
+        c.stores = u(s, "stores");
+        c.atomics = u(s, "atomics");
+        c.cas_retries = u(s, "cas_retries");
+        c.acquires = u(s, "acquires");
+        c.releases = u(s, "releases");
+        c.mispredicts = u(s, "mispredicts");
+        c.l1_hits = u(s, "l1_hits");
+        c.llc_hits = u(s, "llc_hits");
+        c.dram_accesses = u(s, "dram_accesses");
+        c.coherence_transfers = u(s, "coherence_transfers");
+        c.cost_loop_invocations = u(s, "cost_loop_invocations");
+        c.cost_loop_iters = u(s, "cost_loop_iters");
+        sim.sb_stalls = u(s, "sb_stalls");
+        sim.sb_stall_cycles = f(s, "sb_stall_cycles");
+        if let Some(fences) = s.get("fences").and_then(Json::as_arr) {
+            for entry in fences {
+                let kind = entry
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .and_then(FenceKind::from_mnemonic)
+                    .ok_or("unknown fence kind in telemetry")?;
+                c.fence_counts.insert(kind, u(entry, "count"));
+                c.fence_cycles.insert(kind, f(entry, "stall_cycles"));
+            }
+        }
+    }
+    let timing = match t.get("timing") {
+        None => Timing::default(),
+        Some(w) => Timing {
+            threads: u(w, "threads") as usize,
+            sim_ms: f(w, "sim_ms"),
+            wall_ms: f(w, "wall_ms"),
+            max_batch_ms: f(w, "max_batch_ms"),
+            max_batch_jobs: u(w, "max_batch_jobs"),
+        },
+    };
+    Ok(Telemetry {
+        batches: u(t, "batches"),
+        jobs: u(t, "jobs"),
+        cache_hits: u(t, "cache_hits"),
+        cache_misses: u(t, "cache_misses"),
+        sim,
+        timing,
+    })
 }
 
 #[cfg(test)]
@@ -293,28 +498,77 @@ mod tests {
         m
     }
 
+    fn sample_totals() -> SimTotals {
+        let mut totals = SimTotals::default();
+        let mut counters = Counters::default();
+        counters.loads = 120;
+        counters.stores = 60;
+        counters.record_fence(FenceKind::DmbIsh);
+        counters.record_fence(FenceKind::DmbIsh);
+        counters.record_fence(FenceKind::DmbIshSt);
+        counters.record_fence_cycles(FenceKind::DmbIsh, 21.5);
+        counters.record_fence_cycles(FenceKind::DmbIshSt, 5.25);
+        totals.merge_stats(&ExecStats {
+            wall_ns: 100.0,
+            core_cycles: vec![240.0],
+            counters,
+            sb_stall_cycles: 3.5,
+            sb_stalls: 2,
+        });
+        totals
+    }
+
     #[test]
-    fn canonical_excludes_telemetry() {
+    fn canonical_excludes_telemetry_and_deterministic_excludes_timing() {
         let mut a = sample();
         let mut b = sample();
         a.telemetry = Some(Telemetry {
-            threads: 1,
             jobs: 10,
-            wall_ms: 123.0,
+            cache_misses: 10,
+            sim: sample_totals(),
+            timing: Timing {
+                threads: 1,
+                wall_ms: 123.0,
+                ..Timing::default()
+            },
             ..Telemetry::default()
         });
         b.telemetry = Some(Telemetry {
-            threads: 8,
             jobs: 10,
-            cache_hits: 10,
-            wall_ms: 1.0,
+            cache_misses: 10,
+            sim: sample_totals(),
+            timing: Timing {
+                threads: 8,
+                wall_ms: 1.0,
+                ..Timing::default()
+            },
             ..Telemetry::default()
         });
         assert_eq!(
             a.canonical_json().to_string(),
             b.canonical_json().to_string()
         );
+        // Same counters, different timing: deterministic text agrees, full
+        // file text does not.
+        assert_eq!(
+            a.deterministic_json().to_string(),
+            b.deterministic_json().to_string()
+        );
         assert_ne!(a.to_file_text(), b.to_file_text());
+        // Different counters: the deterministic text must expose it.
+        let mut c = sample();
+        let mut sim = sample_totals();
+        sim.counters.loads += 1;
+        c.telemetry = Some(Telemetry {
+            jobs: 10,
+            cache_misses: 10,
+            sim,
+            ..Telemetry::default()
+        });
+        assert_ne!(
+            a.deterministic_json().to_string(),
+            c.deterministic_json().to_string()
+        );
     }
 
     #[test]
@@ -322,18 +576,36 @@ mod tests {
         let dir = std::env::temp_dir().join("wmm-harness-artifact-test");
         let mut m = sample();
         m.telemetry = Some(Telemetry {
-            threads: 4,
             batches: 2,
             jobs: 40,
             cache_hits: 8,
             cache_misses: 32,
-            sim_ms: 10.5,
-            wall_ms: 3.25,
+            sim: sample_totals(),
+            timing: Timing {
+                threads: 4,
+                sim_ms: 10.5,
+                wall_ms: 3.25,
+                max_batch_ms: 2.125,
+                max_batch_jobs: 24,
+            },
         });
         let path = m.write(&dir).unwrap();
         let back = RunManifest::load(&path).unwrap();
         assert_eq!(back, m);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sim_totals_aggregate_and_expose_means() {
+        let totals = sample_totals();
+        assert_eq!(totals.jobs_observed, 1);
+        assert_eq!(totals.counters.loads, 120);
+        assert_eq!(totals.sb_stalls, 2);
+        assert_eq!(
+            totals.mean_fence_cycles(FenceKind::DmbIsh),
+            Some(21.5 / 2.0)
+        );
+        assert_eq!(totals.mean_fence_cycles(FenceKind::Isb), None);
     }
 
     #[test]
@@ -343,5 +615,11 @@ mod tests {
         )
         .unwrap();
         assert!(RunManifest::from_json(&json).unwrap_err().contains("99"));
+        // v1 manifests (the pre-telemetry layout) are also rejected: the
+        // baselines were refreshed when the schema was bumped.
+        let json =
+            Json::parse(r#"{"schema_version":1,"campaign":"x","arch":"arm","cells":[],"fits":[]}"#)
+                .unwrap();
+        assert!(RunManifest::from_json(&json).is_err());
     }
 }

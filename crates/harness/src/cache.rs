@@ -172,11 +172,18 @@ pub fn job_key(job: &SimJob<'_>) -> u128 {
     h.finish()
 }
 
+/// The on-disk lane of a cache: the backing file plus its own append lock,
+/// so disk I/O never holds up readers of the in-memory map.
+struct DiskLane {
+    path: PathBuf,
+    append: Mutex<()>,
+}
+
 /// A content-addressed simulation-result cache: an in-memory map with an
 /// optional append-only on-disk store shared across processes.
 pub struct SimCache {
     mem: Mutex<HashMap<u128, f64>>,
-    disk: Option<PathBuf>,
+    disk: Option<DiskLane>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -209,7 +216,10 @@ impl SimCache {
         }
         Ok(SimCache {
             mem: Mutex::new(mem),
-            disk: Some(path),
+            disk: Some(DiskLane {
+                path,
+                append: Mutex::new(()),
+            }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         })
@@ -226,14 +236,25 @@ impl SimCache {
     }
 
     /// Store a result (and append it to the disk store, if any).
+    ///
+    /// The in-memory insert decides, under the map lock, whether this call
+    /// is the first writer of `key`; the disk append then happens *outside*
+    /// that lock, on the disk lane's own lock, so file I/O never blocks
+    /// concurrent `get`/`put` traffic on other keys.
     pub fn put(&self, key: u128, value: f64) {
-        let mut mem = self.mem.lock().expect("cache poisoned");
-        if mem.insert(key, value).is_none() {
-            if let Some(path) = &self.disk {
+        let first_insert = self
+            .mem
+            .lock()
+            .expect("cache poisoned")
+            .insert(key, value)
+            .is_none();
+        if first_insert {
+            if let Some(lane) = &self.disk {
+                let _append = lane.append.lock().expect("disk lane poisoned");
                 if let Ok(mut f) = std::fs::OpenOptions::new()
                     .create(true)
                     .append(true)
-                    .open(path)
+                    .open(&lane.path)
                 {
                     let _ = writeln!(f, "{key:032x} {:016x}", value.to_bits());
                 }
@@ -263,12 +284,20 @@ impl SimCache {
 
     /// The backing file, if this cache persists to disk.
     pub fn disk_path(&self) -> Option<&Path> {
-        self.disk.as_deref()
+        self.disk.as_ref().map(|lane| lane.path.as_path())
     }
 }
 
+/// Parse one disk-store line. The writer always emits exactly 32 hex chars
+/// of key and 16 of value, so anything narrower is a torn line from a
+/// killed run — it must be rejected, not parsed: a truncated value like
+/// `3ff` is still valid hex and would otherwise load as a silently wrong
+/// result under a valid key prefix.
 fn parse_line(line: &str) -> Option<(u128, f64)> {
     let (key, val) = line.split_once(' ')?;
+    if key.len() != 32 || val.len() != 16 {
+        return None;
+    }
     Some((
         u128::from_str_radix(key, 16).ok()?,
         f64::from_bits(u64::from_str_radix(val, 16).ok()?),
@@ -369,6 +398,71 @@ mod tests {
             cache.get(u128::MAX).map(f64::to_bits),
             Some((-0.0f64).to_bits())
         );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_final_line_is_rejected_not_misparsed() {
+        // A killed run can tear the last append anywhere. Every prefix of a
+        // valid line must parse to nothing — never to a wrong (key, value).
+        let full = format!("{:032x} {:016x}", 0xdead_beef_u128, 1.5f64.to_bits());
+        assert!(parse_line(&full).is_some());
+        for cut in 0..full.len() {
+            assert_eq!(
+                parse_line(&full[..cut]),
+                None,
+                "prefix of {cut} chars must not parse"
+            );
+        }
+        // A torn-then-appended reload drops only the torn line.
+        let dir = std::env::temp_dir().join("wmm-harness-cache-torn-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.cache");
+        let good = format!("{:032x} {:016x}\n", 7_u128, 2.5f64.to_bits());
+        let torn = &full[..40]; // full key, space, truncated value
+        std::fs::write(&path, format!("{good}{torn}")).unwrap();
+        let cache = SimCache::with_disk(&path).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(7), Some(2.5));
+        assert_eq!(cache.get(0xdead_beef), None);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn concurrent_puts_stay_consistent() {
+        let dir = std::env::temp_dir().join("wmm-harness-cache-mt-test");
+        let path = dir.join("concurrent.cache");
+        let _ = std::fs::remove_file(&path);
+        let cache = SimCache::with_disk(&path).unwrap();
+        // 8 threads hammer 256 keys; every key is written by several
+        // threads with the same (deterministic) value, interleaved with
+        // reads. The map and the disk store must both end up with exactly
+        // one entry per key, bit-exact.
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..256u128 {
+                        let key = (i * 0x9e37) % 256;
+                        cache.put(key, key as f64 * 0.125 + 1.0);
+                        if t % 2 == 0 {
+                            let got = cache.get(key).expect("just put");
+                            assert_eq!(got, key as f64 * 0.125 + 1.0);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 256);
+        // Reload from disk: append-only file must hold every key exactly
+        // once (first-writer-wins under the map lock) and parse cleanly.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 256, "one disk line per unique key");
+        let reloaded = SimCache::with_disk(&path).unwrap();
+        assert_eq!(reloaded.len(), 256);
+        for i in 0..256u128 {
+            assert_eq!(reloaded.get(i), Some(i as f64 * 0.125 + 1.0));
+        }
         let _ = std::fs::remove_file(&path);
     }
 }

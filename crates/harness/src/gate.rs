@@ -5,6 +5,19 @@
 //! drifts beyond its relative tolerance, when a baseline entry disappears,
 //! or when the campaigns/architectures do not match. Telemetry is never
 //! gated: timings and hit rates legitimately vary run to run.
+//!
+//! Two failure modes are handled explicitly rather than silently:
+//!
+//! * **Non-finite values.** A NaN drift makes every `drift > tol`
+//!   comparison false, so a manifest full of NaN fits would sail through a
+//!   naive gate. Any non-finite baseline value, current value, or computed
+//!   drift is a hard failure.
+//! * **Duplicate labels.** Labels are the join key between baseline and
+//!   current; if either side repeats a label, only one entry would ever be
+//!   compared and the rest would be silently ignored. Duplicates are a
+//!   hard failure on whichever side they appear.
+
+use std::collections::HashMap;
 
 use crate::artifact::RunManifest;
 
@@ -48,74 +61,112 @@ fn rel_drift(old: f64, new: f64) -> f64 {
     (new - old).abs() / old.abs().max(1e-12)
 }
 
+/// Compare one labelled value pair, appending a failure when the drift is
+/// out of tolerance or any quantity involved is non-finite (NaN compares
+/// false against every tolerance, so it must be rejected explicitly).
+fn check_value(kind: &str, label: &str, old: f64, new: f64, tol: f64, failures: &mut Vec<String>) {
+    let drift = rel_drift(old, new);
+    if !old.is_finite() || !new.is_finite() || !drift.is_finite() {
+        failures.push(format!(
+            "{kind} `{label}`: non-finite value (baseline {old}, current {new}) — gate cannot pass NaN/inf"
+        ));
+        return;
+    }
+    if drift > tol {
+        failures.push(format!(
+            "{kind} `{label}`: value drifted {:.1}% (baseline {:.6e}, current {:.6e}, tolerance {:.1}%)",
+            100.0 * drift,
+            old,
+            new,
+            100.0 * tol
+        ));
+    }
+}
+
+/// Index records by label, reporting every duplicated label on `side`.
+/// Duplicates would make the gate silently compare only one of the
+/// entries, so they are a hard failure rather than a shrug.
+fn index_by_label<'a, T>(
+    items: &'a [T],
+    label: impl Fn(&T) -> &str,
+    side: &str,
+    kind: &str,
+    failures: &mut Vec<String>,
+) -> HashMap<&'a str, &'a T> {
+    let mut map: HashMap<&str, &T> = HashMap::with_capacity(items.len());
+    for item in items {
+        let l = label(item);
+        if map.insert(l, item).is_some() {
+            failures.push(format!(
+                "{side} {kind} label `{l}` is duplicated — ambiguous comparison, fix the manifest"
+            ));
+        }
+    }
+    map
+}
+
 /// Compare `current` against `baseline` under `cfg`.
 pub fn compare(baseline: &RunManifest, current: &RunManifest, cfg: GateConfig) -> GateReport {
     let mut report = GateReport::default();
-    let mut fail = |msg: String| report.failures.push(msg);
+    let failures = &mut report.failures;
 
     if baseline.campaign != current.campaign {
-        fail(format!(
+        failures.push(format!(
             "campaign mismatch: baseline `{}` vs current `{}`",
             baseline.campaign, current.campaign
         ));
     }
     if baseline.arch != current.arch {
-        fail(format!(
+        failures.push(format!(
             "arch mismatch: baseline `{}` vs current `{}`",
             baseline.arch, current.arch
         ));
     }
 
+    // Build the label indices once (the manifests can hold hundreds of
+    // sweep cells; repeated linear scans made the gate O(n²)).
+    let base_fits = index_by_label(&baseline.fits, |f| &f.label, "baseline", "fit", failures);
+    let cur_fits = index_by_label(&current.fits, |f| &f.label, "current", "fit", failures);
+    let base_cells = index_by_label(&baseline.cells, |c| &c.label, "baseline", "cell", failures);
+    let cur_cells = index_by_label(&current.cells, |c| &c.label, "current", "cell", failures);
+
     let mut checked = 0usize;
     for bf in &baseline.fits {
-        match current.fits.iter().find(|f| f.label == bf.label) {
-            None => fail(format!("fit `{}` missing from current run", bf.label)),
+        match cur_fits.get(bf.label.as_str()) {
+            None => failures.push(format!("fit `{}` missing from current run", bf.label)),
             Some(cf) => {
                 checked += 1;
-                let drift = rel_drift(bf.k, cf.k);
-                if drift > cfg.k_rel_tol {
-                    fail(format!(
-                        "fit `{}`: k drifted {:.1}% (baseline {:.6e}, current {:.6e}, tolerance {:.1}%)",
-                        bf.label,
-                        100.0 * drift,
-                        bf.k,
-                        cf.k,
-                        100.0 * cfg.k_rel_tol
-                    ));
-                }
+                check_value("fit k", &bf.label, bf.k, cf.k, cfg.k_rel_tol, failures);
             }
         }
     }
     for bc in &baseline.cells {
-        match current.cells.iter().find(|c| c.label == bc.label) {
-            None => fail(format!("cell `{}` missing from current run", bc.label)),
+        match cur_cells.get(bc.label.as_str()) {
+            None => failures.push(format!("cell `{}` missing from current run", bc.label)),
             Some(cc) => {
                 checked += 1;
-                let drift = rel_drift(bc.value, cc.value);
-                if drift > cfg.cell_rel_tol {
-                    fail(format!(
-                        "cell `{}`: value drifted {:.1}% (baseline {:.6}, current {:.6}, tolerance {:.1}%)",
-                        bc.label,
-                        100.0 * drift,
-                        bc.value,
-                        cc.value,
-                        100.0 * cfg.cell_rel_tol
-                    ));
-                }
+                check_value(
+                    "cell",
+                    &bc.label,
+                    bc.value,
+                    cc.value,
+                    cfg.cell_rel_tol,
+                    failures,
+                );
             }
         }
     }
     for cf in &current.fits {
-        if !baseline.fits.iter().any(|f| f.label == cf.label) {
-            fail(format!(
+        if !base_fits.contains_key(cf.label.as_str()) {
+            failures.push(format!(
                 "fit `{}` absent from baseline (refresh the baseline manifest)",
                 cf.label
             ));
         }
     }
     for cc in &current.cells {
-        if !baseline.cells.iter().any(|c| c.label == cc.label) {
-            fail(format!(
+        if !base_cells.contains_key(cc.label.as_str()) {
+            failures.push(format!(
                 "cell `{}` absent from baseline (refresh the baseline manifest)",
                 cc.label
             ));
@@ -174,7 +225,7 @@ mod tests {
             GateConfig::default(),
         );
         assert!(!r.pass());
-        assert!(r.failures[0].contains("k drifted"), "{:?}", r.failures);
+        assert!(r.failures[0].contains("drifted"), "{:?}", r.failures);
     }
 
     #[test]
@@ -185,6 +236,73 @@ mod tests {
             GateConfig::default(),
         );
         assert!(!r.pass());
+    }
+
+    #[test]
+    fn nan_values_fail_instead_of_sailing_through() {
+        // A NaN current k: `drift > tol` is false for NaN, so a naive gate
+        // would pass this. It must fail.
+        let r = compare(
+            &manifest(0.01, 0.9),
+            &manifest(f64::NAN, 0.9),
+            GateConfig::default(),
+        );
+        assert!(!r.pass(), "NaN fit must not pass the gate");
+        assert!(
+            r.failures.iter().any(|f| f.contains("non-finite")),
+            "{:?}",
+            r.failures
+        );
+        // NaN in the *baseline* is just as fatal.
+        let r = compare(
+            &manifest(f64::NAN, 0.9),
+            &manifest(0.01, 0.9),
+            GateConfig::default(),
+        );
+        assert!(!r.pass());
+        // Infinite cells too.
+        let r = compare(
+            &manifest(0.01, 0.9),
+            &manifest(0.01, f64::INFINITY),
+            GateConfig::default(),
+        );
+        assert!(!r.pass());
+        // NaN == NaN in both manifests is still a failure, not a match.
+        let r = compare(
+            &manifest(f64::NAN, 0.9),
+            &manifest(f64::NAN, 0.9),
+            GateConfig::default(),
+        );
+        assert!(!r.pass(), "NaN baseline + NaN current must still fail");
+    }
+
+    #[test]
+    fn duplicate_labels_fail_loudly() {
+        let baseline = manifest(0.01, 0.9);
+        // Current has the cell label twice: first copy in tolerance, second
+        // wildly out. The old find-first gate compared only the first and
+        // passed; duplicates must instead be a hard failure.
+        let mut current = manifest(0.01, 0.9);
+        current.push_cell("spark/a=16", 500.0);
+        let r = compare(&baseline, &current, GateConfig::default());
+        assert!(!r.pass(), "duplicate label must fail the gate");
+        assert!(
+            r.failures.iter().any(|f| f.contains("duplicated")),
+            "{:?}",
+            r.failures
+        );
+        // Duplicates in the baseline are reported symmetrically.
+        let mut dup_base = manifest(0.01, 0.9);
+        dup_base.push_cell("spark/a=16", 0.9);
+        let r = compare(&dup_base, &manifest(0.01, 0.9), GateConfig::default());
+        assert!(!r.pass());
+        assert!(
+            r.failures
+                .iter()
+                .any(|f| f.contains("baseline") && f.contains("duplicated")),
+            "{:?}",
+            r.failures
+        );
     }
 
     #[test]

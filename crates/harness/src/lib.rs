@@ -20,6 +20,14 @@
 //!    fitted sensitivities, timings, cache hit rate) under `results/runs/`,
 //!    and the `bench_gate` binary diffs a manifest against a committed
 //!    baseline, failing on out-of-tolerance drift.
+//! 4. **Telemetry** ([`artifact::SimTotals`], [`trace`]): every freshly
+//!    simulated job's full `ExecStats` flows back through the executor
+//!    seam and is folded — in job order, so the totals are bit-identical
+//!    across worker counts — into campaign-wide counters (fence executions
+//!    and stall cycles by kind, store-buffer stalls, cache-hierarchy
+//!    outcomes, cost-loop invocations). The totals land in the manifest's
+//!    non-gated `telemetry` section; per-batch and per-job wall timings can
+//!    additionally be exported as a `chrome://tracing` timeline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,8 +36,12 @@ pub mod artifact;
 pub mod cache;
 pub mod gate;
 pub mod scheduler;
+pub mod trace;
 
-pub use artifact::{CellRecord, FitRecord, RunManifest, Telemetry, SCHEMA_VERSION};
+pub use artifact::{
+    CellRecord, FitRecord, RunManifest, SimTotals, Telemetry, Timing, SCHEMA_VERSION,
+};
 pub use cache::{job_key, SimCache};
 pub use gate::{compare, GateConfig, GateReport};
-pub use scheduler::{resolve_threads, run_keyed, ParallelExecutor};
+pub use scheduler::{resolve_threads, run_keyed, run_keyed_indexed, ParallelExecutor};
+pub use trace::{write_chrome_trace, TraceEvent};

@@ -6,14 +6,23 @@
 //! returns results in job order. Because every job is deterministic in its
 //! own inputs and keys restore submission order, the output of a batch is
 //! bit-identical whether it ran on one worker or sixteen.
+//!
+//! Beyond results, the executor aggregates the simulator's own telemetry:
+//! every freshly simulated job's [`ExecStats`] is folded — in job order, so
+//! float sums are bit-identical across worker counts — into a campaign-wide
+//! [`SimTotals`], and per-batch/per-job wall timings can be recorded as
+//! [`TraceEvent`]s for Chrome-trace export.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use wmmbench::exec::{Executor, SimJob};
+use wmm_sim::stats::ExecStats;
+use wmmbench::exec::{Executor, JobOutcome, SimJob};
 
+use crate::artifact::{SimTotals, Telemetry, Timing};
 use crate::cache::{job_key, SimCache};
+use crate::trace::TraceEvent;
 
 /// Resolve the worker-thread count: an explicit request wins, then the
 /// `WMM_THREADS` environment variable, then the machine's available
@@ -46,20 +55,32 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    run_keyed_indexed(items, threads, |_, item| f(item))
+}
+
+/// [`run_keyed`], with the claiming worker's index (0-based) passed to `f`
+/// alongside each item — used to attribute trace slices to worker tracks.
+pub fn run_keyed_indexed<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let n = items.len();
     if threads <= 1 || n <= 1 {
-        return items.iter().map(&f).collect();
+        return items.iter().map(|item| f(0, item)).collect();
     }
     let next = AtomicUsize::new(0);
     let keyed: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
     std::thread::scope(|scope| {
-        for _ in 0..threads.min(n) {
-            scope.spawn(|| loop {
+        let (next, keyed, f) = (&next, &keyed, &f);
+        for worker in 0..threads.min(n) {
+            scope.spawn(move || loop {
                 let idx = next.fetch_add(1, Ordering::Relaxed);
                 if idx >= n {
                     break;
                 }
-                let result = f(&items[idx]);
+                let result = f(worker, &items[idx]);
                 keyed
                     .lock()
                     .expect("collector poisoned")
@@ -75,25 +96,33 @@ where
 
 /// Aggregate counters across every batch an executor has run.
 #[derive(Debug, Default)]
-struct Counters {
+struct BatchCounters {
     batches: AtomicU64,
     jobs: AtomicU64,
     sim_ns: AtomicU64,
     wall_ns: AtomicU64,
+    max_batch_ns: AtomicU64,
+    max_batch_jobs: AtomicU64,
 }
 
 /// The parallel, caching [`Executor`].
 ///
 /// Wraps the scheduler around an optional content-addressed [`SimCache`]:
 /// each batch first resolves cache hits on the calling thread, fans the
-/// misses out across workers, then stores the fresh results. Per-job wall
-/// time, queue depth and batch counts are tracked for the campaign summary
-/// and the run manifest's telemetry section.
+/// misses out across workers, then stores the fresh results. Alongside the
+/// results the executor aggregates campaign telemetry — batch/job counts,
+/// wall and simulated time, and the [`SimTotals`] merged from every freshly
+/// simulated job's [`ExecStats`] — for the run manifest's telemetry
+/// section, and (when enabled) a Chrome-trace timeline of batches and jobs.
 pub struct ParallelExecutor {
     threads: usize,
     cache: Option<SimCache>,
     progress: bool,
-    counters: Counters,
+    tracing: bool,
+    epoch: Instant,
+    counters: BatchCounters,
+    sim_totals: Mutex<SimTotals>,
+    trace: Mutex<Vec<TraceEvent>>,
 }
 
 impl ParallelExecutor {
@@ -104,7 +133,11 @@ impl ParallelExecutor {
             threads: resolve_threads(threads),
             cache: None,
             progress: false,
-            counters: Counters::default(),
+            tracing: false,
+            epoch: Instant::now(),
+            counters: BatchCounters::default(),
+            sim_totals: Mutex::new(SimTotals::default()),
+            trace: Mutex::new(Vec::new()),
         }
     }
 
@@ -120,6 +153,12 @@ impl ParallelExecutor {
         self
     }
 
+    /// Enable Chrome-trace event collection (see [`Self::write_trace`]).
+    pub fn with_trace(mut self, tracing: bool) -> Self {
+        self.tracing = tracing;
+        self
+    }
+
     /// The resolved worker count.
     pub fn threads(&self) -> usize {
         self.threads
@@ -130,49 +169,64 @@ impl ParallelExecutor {
         self.cache.as_ref()
     }
 
-    /// Telemetry snapshot for the campaign so far.
-    pub fn telemetry(&self) -> crate::artifact::Telemetry {
-        let (hits, misses) = self
-            .cache
-            .as_ref()
-            .map(|c| (c.hits(), c.misses()))
-            .unwrap_or((0, 0));
-        crate::artifact::Telemetry {
-            threads: self.threads,
+    /// Telemetry snapshot for the campaign so far: executor counters, the
+    /// aggregated simulator totals, and observational timings.
+    pub fn telemetry(&self) -> Telemetry {
+        let jobs = self.counters.jobs.load(Ordering::Relaxed);
+        let (hits, misses) = match self.cache.as_ref() {
+            Some(c) => (c.hits(), c.misses()),
+            // Without a cache every job is simulated.
+            None => (0, jobs),
+        };
+        Telemetry {
             batches: self.counters.batches.load(Ordering::Relaxed),
-            jobs: self.counters.jobs.load(Ordering::Relaxed),
+            jobs,
             cache_hits: hits,
             cache_misses: misses,
-            sim_ms: self.counters.sim_ns.load(Ordering::Relaxed) as f64 / 1e6,
-            wall_ms: self.counters.wall_ns.load(Ordering::Relaxed) as f64 / 1e6,
+            sim: self.sim_totals.lock().expect("totals poisoned").clone(),
+            timing: Timing {
+                threads: self.threads,
+                sim_ms: self.counters.sim_ns.load(Ordering::Relaxed) as f64 / 1e6,
+                wall_ms: self.counters.wall_ns.load(Ordering::Relaxed) as f64 / 1e6,
+                max_batch_ms: self.counters.max_batch_ns.load(Ordering::Relaxed) as f64 / 1e6,
+                max_batch_jobs: self.counters.max_batch_jobs.load(Ordering::Relaxed),
+            },
         }
+    }
+
+    /// Snapshot of the trace events collected so far (empty unless
+    /// [`Self::with_trace`] enabled collection).
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.trace.lock().expect("trace poisoned").clone()
+    }
+
+    /// Write the collected Chrome-trace timeline to `path`.
+    pub fn write_trace(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        crate::trace::write_chrome_trace(path, &self.trace_events())
     }
 
     /// One-line campaign summary (jobs, hit rate, speed-up proxy).
     pub fn summary(&self) -> String {
         let t = self.telemetry();
-        let hit_rate = if t.jobs > 0 {
-            t.cache_hits as f64 / t.jobs as f64
-        } else {
-            0.0
-        };
         format!(
             "{} jobs in {} batches on {} threads: {:.0} ms wall, {:.0} ms simulated, {:.0}% cache hits",
             t.jobs,
             t.batches,
-            t.threads,
-            t.wall_ms,
-            t.sim_ms,
-            100.0 * hit_rate
+            t.timing.threads,
+            t.timing.wall_ms,
+            t.timing.sim_ms,
+            100.0 * t.hit_rate()
         )
     }
 }
 
 impl Executor for ParallelExecutor {
-    fn run_batch(&self, jobs: Vec<SimJob<'_>>) -> Vec<f64> {
+    fn run_batch_stats(&self, jobs: Vec<SimJob<'_>>) -> Vec<JobOutcome> {
         let start = Instant::now();
+        let batch_ts_us = self.epoch.elapsed().as_secs_f64() * 1e6;
+        let batch_id = self.counters.batches.fetch_add(1, Ordering::Relaxed);
         let n = jobs.len();
-        let mut results = vec![0.0f64; n];
+        let mut outcomes: Vec<Option<JobOutcome>> = (0..n).map(|_| None).collect();
 
         // Resolve cache hits up front (calling thread); collect miss slots.
         let mut misses: Vec<usize> = Vec::with_capacity(n);
@@ -182,7 +236,7 @@ impl Executor for ParallelExecutor {
                 .map(|(i, job)| {
                     let key = job_key(job);
                     match cache.get(key) {
-                        Some(t) => results[i] = t,
+                        Some(t) => outcomes[i] = Some(JobOutcome::cached(t)),
                         None => misses.push(i),
                     }
                     key
@@ -193,14 +247,26 @@ impl Executor for ParallelExecutor {
             misses = (0..n).collect();
         }
 
-        // Fan the misses out across workers, observing progress.
+        // Fan the misses out across workers, observing progress and
+        // (optionally) recording one trace slice per simulated job.
         let done = AtomicUsize::new(0);
         let sim_ns = AtomicU64::new(0);
         let total = misses.len();
-        let times = run_keyed(&misses, self.threads, |&slot| {
+        let stats: Vec<ExecStats> = run_keyed_indexed(&misses, self.threads, |worker, &slot| {
+            let ts_us = self.epoch.elapsed().as_secs_f64() * 1e6;
             let t0 = Instant::now();
-            let t = jobs[slot].run();
-            sim_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let stats = jobs[slot].run_stats();
+            let dur = t0.elapsed();
+            sim_ns.fetch_add(dur.as_nanos() as u64, Ordering::Relaxed);
+            if self.tracing {
+                self.trace.lock().expect("trace poisoned").push(TraceEvent {
+                    name: format!("job {slot}"),
+                    cat: "job",
+                    ts_us,
+                    dur_us: dur.as_secs_f64() * 1e6,
+                    tid: worker as u64 + 1,
+                });
+            }
             let d = done.fetch_add(1, Ordering::Relaxed) + 1;
             if self.progress && (d.is_multiple_of(16) || d == total) {
                 let elapsed = start.elapsed().as_secs_f64();
@@ -210,24 +276,50 @@ impl Executor for ParallelExecutor {
                     total - d
                 );
             }
-            t
+            stats
         });
-        for (&slot, &t) in misses.iter().zip(&times) {
-            results[slot] = t;
-            if let (Some(cache), Some(keys)) = (&self.cache, &keys) {
-                cache.put(keys[slot], t);
+
+        // Fold the fresh statistics into the campaign totals in job order
+        // (run_keyed_indexed restored submission order), so the aggregated
+        // float sums are bit-identical across worker counts.
+        {
+            let mut totals = self.sim_totals.lock().expect("totals poisoned");
+            for s in &stats {
+                totals.merge_stats(s);
             }
         }
+        for (&slot, s) in misses.iter().zip(stats) {
+            if let (Some(cache), Some(keys)) = (&self.cache, &keys) {
+                cache.put(keys[slot], s.wall_ns);
+            }
+            outcomes[slot] = Some(JobOutcome::observed(s));
+        }
 
-        self.counters.batches.fetch_add(1, Ordering::Relaxed);
+        let batch_ns = start.elapsed().as_nanos() as u64;
         self.counters.jobs.fetch_add(n as u64, Ordering::Relaxed);
         self.counters
             .sim_ns
             .fetch_add(sim_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.counters.wall_ns.fetch_add(batch_ns, Ordering::Relaxed);
         self.counters
-            .wall_ns
-            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        results
+            .max_batch_ns
+            .fetch_max(batch_ns, Ordering::Relaxed);
+        self.counters
+            .max_batch_jobs
+            .fetch_max(n as u64, Ordering::Relaxed);
+        if self.tracing {
+            self.trace.lock().expect("trace poisoned").push(TraceEvent {
+                name: format!("batch {batch_id} ({total}/{n} simulated)"),
+                cat: "batch",
+                ts_us: batch_ts_us,
+                dur_us: batch_ns as f64 / 1e3,
+                tid: 0,
+            });
+        }
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every job slot resolved"))
+            .collect()
     }
 }
 
@@ -235,7 +327,7 @@ impl Executor for ParallelExecutor {
 mod tests {
     use super::*;
     use wmm_sim::arch::armv8_xgene1;
-    use wmm_sim::isa::Instr;
+    use wmm_sim::isa::{FenceKind, Instr};
     use wmm_sim::machine::{Program, WorkloadCtx};
     use wmm_sim::Machine;
     use wmmbench::exec::SerialExecutor;
@@ -244,9 +336,12 @@ mod tests {
         (0..n)
             .map(|i| SimJob {
                 machine,
-                program: Program::new(vec![vec![Instr::Compute {
-                    cycles: 100 + (i as u32 % 7) * 900,
-                }]]),
+                program: Program::new(vec![vec![
+                    Instr::Compute {
+                        cycles: 100 + (i as u32 % 7) * 900,
+                    },
+                    Instr::Fence(FenceKind::DmbIsh),
+                ]]),
                 ctx: WorkloadCtx::default(),
                 seed: i as u64,
             })
@@ -263,12 +358,40 @@ mod tests {
     }
 
     #[test]
+    fn run_keyed_indexed_reports_valid_workers() {
+        let items: Vec<u64> = (0..64).collect();
+        let workers = run_keyed_indexed(&items, 4, |worker, _| worker);
+        assert!(workers.iter().all(|&w| w < 4));
+    }
+
+    #[test]
     fn parallel_matches_serial_bitwise() {
         let machine = Machine::new(armv8_xgene1());
         let serial = SerialExecutor.run_batch(jobs(&machine, 37));
         for threads in [1, 3, 8] {
             let par = ParallelExecutor::new(Some(threads)).run_batch(jobs(&machine, 37));
             assert_eq!(par, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn sim_totals_identical_across_worker_counts() {
+        let machine = Machine::new(armv8_xgene1());
+        let base = ParallelExecutor::new(Some(1));
+        base.run_batch(jobs(&machine, 37));
+        let base_t = base.telemetry();
+        assert_eq!(base_t.sim.jobs_observed, 37);
+        assert!(base_t.sim.counters.fence_counts[&FenceKind::DmbIsh] >= 37);
+        for threads in [2, 8] {
+            let exec = ParallelExecutor::new(Some(threads));
+            exec.run_batch(jobs(&machine, 37));
+            let t = exec.telemetry();
+            // Bit-identical, including the f64 stall-cycle sums.
+            assert_eq!(t.sim, base_t.sim, "threads = {threads}");
+            assert_eq!(
+                t.deterministic_json().to_string(),
+                base_t.deterministic_json().to_string()
+            );
         }
     }
 
@@ -284,6 +407,37 @@ mod tests {
         assert_eq!(t.cache_misses, 20);
         assert_eq!(t.jobs, 40);
         assert_eq!(t.batches, 2);
+        // Only the simulated jobs contribute to the totals.
+        assert_eq!(t.sim.jobs_observed, 20);
+        assert_eq!(t.timing.max_batch_jobs, 20);
+    }
+
+    #[test]
+    fn cache_hits_carry_no_stats() {
+        let machine = Machine::new(armv8_xgene1());
+        let exec = ParallelExecutor::new(Some(2)).with_cache(SimCache::in_memory());
+        let first = exec.run_batch_stats(jobs(&machine, 5));
+        assert!(first.iter().all(|o| o.stats.is_some()));
+        let second = exec.run_batch_stats(jobs(&machine, 5));
+        assert!(second.iter().all(|o| o.stats.is_none()));
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.wall_ns, b.wall_ns);
+        }
+    }
+
+    #[test]
+    fn trace_collects_batch_and_job_slices() {
+        let machine = Machine::new(armv8_xgene1());
+        let exec = ParallelExecutor::new(Some(2)).with_trace(true);
+        exec.run_batch(jobs(&machine, 6));
+        let events = exec.trace_events();
+        assert_eq!(events.iter().filter(|e| e.cat == "batch").count(), 1);
+        assert_eq!(events.iter().filter(|e| e.cat == "job").count(), 6);
+        assert!(events.iter().all(|e| e.dur_us >= 0.0));
+        // Tracing off by default: no events collected.
+        let silent = ParallelExecutor::new(Some(2));
+        silent.run_batch(jobs(&machine, 3));
+        assert!(silent.trace_events().is_empty());
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Chrome-trace export of a campaign's scheduler timeline.
+//!
+//! [`ParallelExecutor`](crate::ParallelExecutor) can record one
+//! [`TraceEvent`] per batch and per freshly simulated job; this module
+//! serialises those events to the Trace Event Format JSON that
+//! `chrome://tracing` and <https://ui.perfetto.dev> load directly. Each
+//! event is a complete ("ph": "X") slice: batches on track 0, jobs on one
+//! track per worker thread, timestamps in microseconds since the executor
+//! was created.
+//!
+//! Trace files are observational by construction — timings vary run to
+//! run — so they live outside the manifest/gate path entirely: a campaign
+//! only writes one when asked to via `--trace <path>`.
+
+use std::io;
+use std::path::Path;
+
+use wmmbench::json::{Json, ToJson};
+
+/// One complete slice on the trace timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Slice label, e.g. `"batch 3"` or `"job 17"`.
+    pub name: String,
+    /// Event category (`"batch"` or `"job"`), filterable in the viewer.
+    pub cat: &'static str,
+    /// Start, microseconds since the executor epoch.
+    pub ts_us: f64,
+    /// Duration, microseconds.
+    pub dur_us: f64,
+    /// Track: 0 for batch-level slices, `worker + 1` for job slices.
+    pub tid: u64,
+}
+
+impl ToJson for TraceEvent {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.to_json()),
+            ("cat", self.cat.to_json()),
+            ("ph", "X".to_json()),
+            ("ts", Json::Num(self.ts_us)),
+            ("dur", Json::Num(self.dur_us)),
+            ("pid", 1u64.to_json()),
+            ("tid", self.tid.to_json()),
+        ])
+    }
+}
+
+/// Serialise events to a Trace Event Format JSON document.
+pub fn to_chrome_json(events: &[TraceEvent]) -> String {
+    let json = Json::obj(vec![
+        (
+            "traceEvents",
+            Json::Arr(events.iter().map(ToJson::to_json).collect()),
+        ),
+        ("displayTimeUnit", "ms".to_json()),
+    ]);
+    let mut text = json.to_string_pretty();
+    text.push('\n');
+    text
+}
+
+/// Write events to `path` in Trace Event Format, creating parent
+/// directories as needed.
+pub fn write_chrome_trace(path: impl AsRef<Path>, events: &[TraceEvent]) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, to_chrome_json(events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chrome_json_has_required_fields() {
+        let events = vec![
+            TraceEvent {
+                name: "batch 0".into(),
+                cat: "batch",
+                ts_us: 0.0,
+                dur_us: 1500.25,
+                tid: 0,
+            },
+            TraceEvent {
+                name: "job 4".into(),
+                cat: "job",
+                ts_us: 12.5,
+                dur_us: 300.0,
+                tid: 2,
+            },
+        ];
+        let text = to_chrome_json(&events);
+        let json = Json::parse(&text).expect("trace output parses as JSON");
+        let arr = json
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        assert_eq!(arr.len(), 2);
+        let first = &arr[0];
+        assert_eq!(first.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(first.get("pid").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(first.get("dur").and_then(Json::as_f64), Some(1500.25));
+        assert_eq!(arr[1].get("tid").and_then(Json::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn write_creates_parent_dirs() {
+        let dir = std::env::temp_dir().join("wmm-harness-trace-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("trace.json");
+        write_chrome_trace(&path, &[]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("traceEvents"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -58,6 +58,18 @@ impl FenceKind {
         }
     }
 
+    /// Every fence kind, in a stable order (telemetry serialisation and
+    /// deterministic iteration rely on this ordering never changing).
+    pub const ALL: [FenceKind; 7] = [
+        FenceKind::DmbIsh,
+        FenceKind::DmbIshLd,
+        FenceKind::DmbIshSt,
+        FenceKind::Isb,
+        FenceKind::HwSync,
+        FenceKind::LwSync,
+        FenceKind::Compiler,
+    ];
+
     /// All hardware fence kinds (excluding the compiler-only barrier).
     pub fn all_hardware() -> [FenceKind; 6] {
         [
@@ -68,6 +80,11 @@ impl FenceKind {
             FenceKind::HwSync,
             FenceKind::LwSync,
         ]
+    }
+
+    /// Inverse of [`FenceKind::mnemonic`], for parsing serialised telemetry.
+    pub fn from_mnemonic(s: &str) -> Option<FenceKind> {
+        FenceKind::ALL.into_iter().find(|k| k.mnemonic() == s)
     }
 }
 

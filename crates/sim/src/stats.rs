@@ -6,7 +6,7 @@ use crate::isa::FenceKind;
 use crate::mem::AccessOutcome;
 
 /// Raw event counters, shared by all cores of a run.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct Counters {
     /// Loads executed.
     pub loads: u64,
@@ -60,10 +60,42 @@ impl Counters {
     pub fn record_fence_cycles(&mut self, kind: FenceKind, cycles: f64) {
         *self.fence_cycles.entry(kind).or_insert(0.0) += cycles;
     }
+
+    /// Accumulate another run's counters into this one — the campaign-level
+    /// aggregation primitive the telemetry layer is built on.
+    ///
+    /// Summation order over fence kinds is fixed by [`FenceKind::ALL`], so
+    /// aggregating the same multiset of runs always produces bit-identical
+    /// totals regardless of worker count or arrival order... provided the
+    /// *caller* merges runs in a deterministic order (float addition is not
+    /// commutative-associative in general).
+    pub fn merge(&mut self, other: &Counters) {
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.atomics += other.atomics;
+        self.cas_retries += other.cas_retries;
+        self.acquires += other.acquires;
+        self.releases += other.releases;
+        self.mispredicts += other.mispredicts;
+        self.l1_hits += other.l1_hits;
+        self.llc_hits += other.llc_hits;
+        self.dram_accesses += other.dram_accesses;
+        self.coherence_transfers += other.coherence_transfers;
+        self.cost_loop_invocations += other.cost_loop_invocations;
+        self.cost_loop_iters += other.cost_loop_iters;
+        for kind in FenceKind::ALL {
+            if let Some(&n) = other.fence_counts.get(&kind) {
+                *self.fence_counts.entry(kind).or_insert(0) += n;
+            }
+            if let Some(&c) = other.fence_cycles.get(&kind) {
+                *self.fence_cycles.entry(kind).or_insert(0.0) += c;
+            }
+        }
+    }
 }
 
 /// Result of one full program execution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExecStats {
     /// Wall-clock time: the slowest core's finish time, in nanoseconds.
     pub wall_ns: f64,
@@ -101,6 +133,20 @@ impl ExecStats {
             Some(self.fence_stall_cycles(kind) / n as f64)
         }
     }
+
+    /// Total fence executions across all kinds.
+    pub fn total_fences(&self) -> u64 {
+        FenceKind::ALL.iter().map(|&k| self.fences(k)).sum()
+    }
+
+    /// Total cycles stalled in fences across all kinds, summed in the
+    /// stable [`FenceKind::ALL`] order.
+    pub fn total_fence_stall_cycles(&self) -> f64 {
+        FenceKind::ALL
+            .iter()
+            .map(|&k| self.fence_stall_cycles(k))
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +171,39 @@ mod tests {
         assert_eq!(stats.mean_fence_cycles(FenceKind::DmbIsh), Some(12.0));
         assert_eq!(stats.fences(FenceKind::Isb), 0);
         assert_eq!(stats.mean_fence_cycles(FenceKind::Isb), None);
+        assert_eq!(stats.total_fences(), 2);
+        assert_eq!(stats.total_fence_stall_cycles(), 24.0);
+    }
+
+    #[test]
+    fn merge_accumulates_every_field() {
+        let mut a = Counters {
+            loads: 1,
+            stores: 2,
+            cost_loop_invocations: 3,
+            cost_loop_iters: 300,
+            ..Counters::default()
+        };
+        a.record_fence(FenceKind::DmbIsh);
+        a.record_fence_cycles(FenceKind::DmbIsh, 7.0);
+        let mut b = Counters {
+            loads: 10,
+            mispredicts: 4,
+            ..Counters::default()
+        };
+        b.record_fence(FenceKind::DmbIsh);
+        b.record_fence(FenceKind::Isb);
+        b.record_fence_cycles(FenceKind::DmbIsh, 5.0);
+        b.record_fence_cycles(FenceKind::Isb, 48.0);
+        a.merge(&b);
+        assert_eq!(a.loads, 11);
+        assert_eq!(a.stores, 2);
+        assert_eq!(a.mispredicts, 4);
+        assert_eq!(a.cost_loop_invocations, 3);
+        assert_eq!(a.fence_counts[&FenceKind::DmbIsh], 2);
+        assert_eq!(a.fence_counts[&FenceKind::Isb], 1);
+        assert_eq!(a.fence_cycles[&FenceKind::DmbIsh], 12.0);
+        assert_eq!(a.fence_cycles[&FenceKind::Isb], 48.0);
     }
 
     #[test]

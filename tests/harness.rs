@@ -74,8 +74,10 @@ fn campaign_manifest(sweep: &SweepResult) -> RunManifest {
         m.push_fit(&sweep.benchmark, fit);
     }
     for p in &sweep.points {
+        // Label by requested target — distinct small targets can calibrate
+        // to the same actual ns, and the gate rejects duplicate labels.
         m.push_cell(
-            format!("{}/a={:.2}", sweep.benchmark, p.actual_ns),
+            format!("{}/t={:.0}", sweep.benchmark, p.target_ns),
             p.rel_perf,
         );
     }
@@ -110,6 +112,50 @@ fn fitted_k_is_bitwise_identical_across_thread_counts() {
         let k = campaign_sweep(&exec).fit.expect("fit").k;
         assert_eq!(k.to_bits(), serial_k.to_bits(), "threads = {threads}");
     }
+}
+
+#[test]
+fn telemetry_counters_identical_across_thread_counts() {
+    // The determinism contract extends to telemetry: everything under
+    // `deterministic_json()` — cells, fits, executor counters and the
+    // aggregated simulator statistics — is byte-identical whether the
+    // campaign ran on one worker or four. Only `timing` may differ, and it
+    // is excluded from that scope.
+    let mut reference: Option<(wmm::wmm_harness::SimTotals, String)> = None;
+    for threads in [1, 4] {
+        let exec = ParallelExecutor::new(Some(threads));
+        let mut manifest = campaign_manifest(&campaign_sweep(&exec));
+        manifest.telemetry = Some(exec.telemetry());
+        let t = manifest.telemetry.as_ref().unwrap();
+        assert!(t.sim.jobs_observed > 0, "campaign must simulate jobs");
+        assert!(t.sim.total_fences() > 0, "fenced campaign must run fences");
+        assert_eq!(t.timing.threads, threads, "timing records worker count");
+        let det = manifest.deterministic_json().to_string_pretty();
+        match &reference {
+            None => reference = Some((t.sim.clone(), det)),
+            Some((sim, json)) => {
+                assert_eq!(&t.sim, sim, "sim totals, threads = {threads}");
+                assert_eq!(&det, json, "deterministic json, threads = {threads}");
+            }
+        }
+    }
+}
+
+#[test]
+fn nan_fit_fails_the_gate() {
+    // A fit gone non-finite must be a hard gate failure: every NaN
+    // comparison is false, so `drift > tol` would otherwise silently pass.
+    let exec = ParallelExecutor::new(Some(2));
+    let baseline = campaign_manifest(&campaign_sweep(&exec));
+    let mut poisoned = baseline.clone();
+    poisoned.fits[0].k = f64::NAN;
+    let report = compare(&baseline, &poisoned, GateConfig::default());
+    assert!(!report.pass(), "NaN fit must fail the gate");
+    assert!(
+        report.failures.iter().any(|f| f.contains("non-finite")),
+        "failure must name the non-finite value: {:?}",
+        report.failures
+    );
 }
 
 #[test]
