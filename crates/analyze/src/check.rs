@@ -46,12 +46,24 @@ pub struct CycleCheck {
     pub uncut: Vec<(usize, usize)>,
 }
 
-/// Ordering strength present between a program-order pair.
+/// Ordering strength present between a program-order pair. Exposed to the
+/// synthesis layer (`crate::synth`), which uses it both to decide which
+/// candidate instruments strengthen a pair and to generate lazy
+/// constraints when a trial placement fails verification.
 #[derive(Debug, Clone, Copy, Default)]
-struct PairCut {
-    local: bool,
-    cumulative: bool,
-    global: bool,
+pub(crate) struct PairCut {
+    pub(crate) local: bool,
+    pub(crate) cumulative: bool,
+    pub(crate) global: bool,
+}
+
+impl PairCut {
+    /// Does `self` carry any strength bit that `base` lacks?
+    pub(crate) fn stronger_than(self, base: PairCut) -> bool {
+        (self.local && !base.local)
+            || (self.cumulative && !base.cumulative)
+            || (self.global && !base.global)
+    }
 }
 
 /// Does `class` order every role combination of `a` before `b`?
@@ -73,7 +85,7 @@ fn bare_ordered(model: ModelKind, a: &Access, b: &Access) -> bool {
     }
 }
 
-fn pair_cut(
+pub(crate) fn pair_cut(
     g: &ProgramGraph,
     model: ModelKind,
     a_id: usize,

@@ -243,4 +243,145 @@ mod tests {
         let (_, fenced) = cycles_of(&suite::sb_fences());
         assert_eq!(bare.len(), fenced.len());
     }
+
+    use wmm_sim::isa::{AccessOrd, FenceKind, Instr, Loc};
+
+    fn load(loc: u64) -> Instr {
+        Instr::Load {
+            loc: Loc::SharedRw(loc),
+            ord: AccessOrd::Plain,
+        }
+    }
+
+    fn store(loc: u64) -> Instr {
+        Instr::Store {
+            loc: Loc::SharedRw(loc),
+            ord: AccessOrd::Plain,
+        }
+    }
+
+    #[test]
+    fn single_thread_program_has_no_cycles() {
+        // A critical cycle needs at least two threads; a single-thread
+        // program short-circuits before any DFS.
+        let g = ProgramGraph::from_streams("solo", &[vec![store(0), load(1), store(1)]], &[]);
+        assert!(critical_cycles(&g).is_empty());
+    }
+
+    #[test]
+    fn empty_and_fence_only_streams_have_no_cycles() {
+        let g = ProgramGraph::from_streams("empty", &[vec![], vec![]], &[]);
+        assert!(critical_cycles(&g).is_empty());
+
+        let g = ProgramGraph::from_streams(
+            "fences-only",
+            &[
+                vec![Instr::Fence(FenceKind::DmbIsh)],
+                vec![
+                    Instr::Fence(FenceKind::HwSync),
+                    Instr::Fence(FenceKind::LwSync),
+                ],
+            ],
+            &[],
+        );
+        assert!(g.accesses.is_empty());
+        assert!(critical_cycles(&g).is_empty());
+    }
+
+    #[test]
+    fn same_location_pair_in_one_thread_cannot_form_a_leg() {
+        // t0: Wx; Wx; Wy   t1: Ry; Rx — the doubled store never pairs with
+        // itself (a leg's exit must sit at a different location), but each
+        // copy independently anchors cycles through the (Wx, Wy) leg.
+        let g = ProgramGraph::from_streams(
+            "dup",
+            &[vec![store(0), store(0), store(1)], vec![load(1), load(0)]],
+            &[],
+        );
+        let cycles = critical_cycles(&g);
+        assert!(!cycles.is_empty());
+        for cyc in &cycles {
+            for &(entry, exit) in &cyc.legs {
+                if entry != exit {
+                    assert_ne!(
+                        g.accesses[entry].loc,
+                        g.accesses[exit].loc,
+                        "multi-access leg endpoints must differ in location: {}",
+                        cyc.describe(&g)
+                    );
+                }
+            }
+        }
+        // Both Wx copies (access ids 0 and 1) appear as cycle entries.
+        for wx in [0, 1] {
+            assert!(
+                cycles.iter().any(|c| c.legs.iter().any(|&(e, _)| e == wx)),
+                "store copy {wx} should anchor a cycle"
+            );
+        }
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn every_enumerated_cycle_is_structurally_critical(
+            threads in prop::collection::vec(
+                prop::collection::vec((0u8..2, 0u8..3), 0..5),
+                1..4,
+            )
+        ) {
+            let streams: Vec<Vec<Instr>> = threads
+                .iter()
+                .map(|ops| {
+                    ops.iter()
+                        .map(|&(role, loc)| {
+                            if role == 0 {
+                                load(u64::from(loc))
+                            } else {
+                                store(u64::from(loc))
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let g = ProgramGraph::from_streams("prop", &streams, &[]);
+            for cyc in critical_cycles(&g) {
+                prop_assert!(cyc.legs.len() >= 2);
+                prop_assert_eq!(cyc.legs.len(), cyc.comms.len());
+
+                // Threads alternate: pairwise distinct, rotation starting
+                // at the lowest-numbered thread.
+                let ts: Vec<usize> =
+                    cyc.legs.iter().map(|&(e, _)| g.accesses[e].thread).collect();
+                prop_assert_eq!(ts[0], *ts.iter().min().expect("nonempty"));
+                let mut sorted = ts.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                prop_assert_eq!(sorted.len(), ts.len());
+
+                for (i, &(entry, exit)) in cyc.legs.iter().enumerate() {
+                    let (ea, xa) = (&g.accesses[entry], &g.accesses[exit]);
+                    // Per-thread po-adjacent endpoints: same thread, entry
+                    // program-before (or equal to) exit, and a genuine leg
+                    // spans two locations.
+                    prop_assert_eq!(ea.thread, xa.thread);
+                    prop_assert!(ea.pos <= xa.pos);
+                    if entry != exit {
+                        prop_assert!(ea.loc != xa.loc);
+                    }
+                    // The communication edge into the next leg must be a
+                    // valid conflict of the recorded kind.
+                    let next = &g.accesses[cyc.legs[(i + 1) % cyc.legs.len()].0];
+                    prop_assert!(CommKind::between(xa, next).contains(&cyc.comms[i]));
+                }
+
+                // The degenerate two-single-access shape is filtered.
+                prop_assert!(!(cyc.legs.len() == 2
+                    && cyc.legs[0].0 == cyc.legs[0].1
+                    && cyc.legs[1].0 == cyc.legs[1].1));
+            }
+        }
+    }
 }

@@ -23,13 +23,32 @@
 //! `tests/differential.rs`: for every litmus-suite entry and every model,
 //! "all cycles protected" must coincide with "the explorer cannot reach
 //! the weak outcome".
+//!
+//! 5. [`synth::synthesize`] inverts the check: given a bare program and a
+//!    model, find the cheapest instrument placement (fences,
+//!    acquire/release upgrades, artificial dependencies) protecting every
+//!    critical cycle, priced by the paper's Eq. 1/Eq. 2 cost model.
+
+#![warn(clippy::pedantic)]
+// Pedantic relaxations, each with a reason:
+// - must_use_candidate: the analysis builders are consumed immediately at
+//   every call site; annotating them all is churn without a bug class.
+// - missing_panics_doc covers `expect`s on internal invariants (interned
+//   ids, enumerated cycles) that callers cannot trigger; public functions
+//   whose panics are reachable document them individually.
+#![allow(clippy::must_use_candidate, clippy::missing_panics_doc)]
 
 pub mod check;
 pub mod cycles;
 pub mod graph;
 pub mod report;
+pub mod synth;
 
 pub use check::{check_cycle, check_cycle_without, CycleCheck};
 pub use cycles::{critical_cycles, CommKind, CriticalCycle};
 pub use graph::{Access, FenceNode, ProgramGraph, StreamDep};
-pub use report::{analyze, Analysis, RedundantFence, UnprotectedCycle};
+pub use report::{analyze, Analysis, DowngradableFence, RedundantFence, UnprotectedCycle};
+pub use synth::{
+    apply_to_graph, apply_to_streams, graph_cost, synthesize, CostModel, Instrument, Placement,
+    SynthConfig, SynthError,
+};

@@ -1,0 +1,1212 @@
+//! Minimal-cost fence synthesis: the inverse of the protection check.
+//!
+//! Given a program graph and a target model, find the cheapest set of
+//! ordering *instruments* — fences, acquire/release upgrades, artificial
+//! dependencies — that protects every critical cycle. This is the
+//! automatic-insertion direction of Alglave et al.'s "Don't sit on the
+//! fence", priced with the paper's Eq. 1/Eq. 2 cost model instead of an
+//! abstract instruction count.
+//!
+//! ## Formulation
+//!
+//! Protection is decided by [`crate::check`]: a cycle is protected iff its
+//! constraint graph is contradictory. Two facts shape the encoding:
+//!
+//! 1. On multi-copy-atomic models the constraint graph closes **iff every
+//!    multi-access program-order leg is locally cut** — comm edges only
+//!    run from a leg's exit to the next leg's entry, so the only way
+//!    across a leg is its own `exec(entry) < exec(exit)` edge. Local cuts
+//!    everywhere are therefore *necessary and sufficient* on SC/TSO/ARMv8.
+//! 2. On POWER they are necessary but not sufficient (IRIW needs the
+//!    *global* strength of `sync`), and the extra requirement depends on
+//!    the interaction of cumulativity edges across threads — awkward to
+//!    encode eagerly, cheap to discover lazily.
+//!
+//! So the solver runs a weighted minimum-hitting-set over constraints
+//! "this pair needs one of these candidates", seeded with the local-cut
+//! constraints, and **lazily** adds a constraint whenever the exact
+//! [`check_cycle`] verdict rejects a trial placement: the new constraint
+//! is the set of unchosen candidates that add any strength bit
+//! (local/cumulative/global) to some leg of the failing cycle beyond what
+//! the trial placement provides. Since per-leg strength is monotone in the
+//! instrument set, any feasible superset must contain one of those
+//! candidates, and each round strictly excludes the current trial, so the
+//! loop terminates.
+//!
+//! The hitting set itself is solved exactly by branch-and-bound (cycle
+//! counts are small), seeded with a greedy upper bound. Cost is summed
+//! over *distinct* instruments, so bundles (the `RCsc` `stlr; ldar` pair)
+//! share price with their parts. Ties are broken deterministically:
+//! among equal-cost solutions the lexicographically smallest instrument
+//! key vector wins, and instrument keys rank weaker fence kinds first —
+//! which is what lets synthesis rediscover `dmb ishst`/`dmb ishld` even
+//! though idle-machine microbenchmarks cannot separate the `dmb` variants
+//! (the sim's `micro_timing_cannot_distinguish_dmb_variants` property).
+
+use wmm_litmus::ops::{DepKind, FClass, ModelKind};
+use wmm_litmus::rewrite::Reinforce;
+use wmm_sim::isa::{AccessOrd, FenceKind, Instr, Loc};
+use wmmbench::model::{estimate_cost, predicted_performance};
+
+use crate::check::{check_cycle, pair_cut, PairCut};
+use crate::cycles::{critical_cycles, CriticalCycle};
+use crate::graph::{FenceNode, ProgramGraph, StreamDep};
+
+/// One synthesized ordering instrument, addressed by access position
+/// (the [`crate::graph::Access::pos`] coordinate system, portable across
+/// the litmus and stream frontends).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instrument {
+    /// A fence of `kind` between access positions `slot - 1` and `slot`.
+    Fence {
+        /// Thread index.
+        thread: usize,
+        /// Fence slot (number of preceding accesses).
+        slot: usize,
+        /// Concrete fence instruction.
+        kind: FenceKind,
+    },
+    /// Upgrade the load at `pos` to acquire (`ldar`).
+    Acquire {
+        /// Thread index.
+        thread: usize,
+        /// Access position.
+        pos: usize,
+    },
+    /// Upgrade the store at `pos` to release (`stlr`).
+    Release {
+        /// Thread index.
+        thread: usize,
+        /// Access position.
+        pos: usize,
+    },
+    /// An artificial syntactic dependency (load `from_pos` → `to_pos`).
+    Dep {
+        /// Thread index.
+        thread: usize,
+        /// Source access position (a load).
+        from_pos: usize,
+        /// Dependent access position.
+        to_pos: usize,
+        /// Dependency kind.
+        kind: DepKind,
+    },
+}
+
+/// Deterministic rank of a fence kind: weaker (cheaper under the paper's
+/// Eq. 2 costs) kinds first, so cost ties resolve toward the weakest
+/// sufficient fence.
+fn fence_rank(kind: FenceKind) -> u8 {
+    match kind {
+        FenceKind::Compiler => 0,
+        FenceKind::DmbIshSt => 1,
+        FenceKind::DmbIshLd => 2,
+        FenceKind::LwSync => 3,
+        FenceKind::DmbIsh => 4,
+        FenceKind::HwSync => 5,
+        FenceKind::Isb => 6,
+    }
+}
+
+fn dep_rank(kind: DepKind) -> u8 {
+    match kind {
+        DepKind::Addr => 0,
+        DepKind::Data => 1,
+        DepKind::Ctrl => 2,
+        DepKind::CtrlIsb => 3,
+    }
+}
+
+impl Instrument {
+    /// Total-order key: thread, then position, then instrument tag, then
+    /// kind rank. The solver's tie-breaking compares sorted key vectors.
+    fn key(&self) -> (usize, usize, u8, usize, u8) {
+        match *self {
+            Instrument::Fence { thread, slot, kind } => (thread, slot, 0, slot, fence_rank(kind)),
+            Instrument::Acquire { thread, pos } => (thread, pos, 1, pos, 0),
+            Instrument::Release { thread, pos } => (thread, pos, 2, pos, 0),
+            Instrument::Dep {
+                thread,
+                from_pos,
+                to_pos,
+                kind,
+            } => (thread, from_pos, 3, to_pos, dep_rank(kind)),
+        }
+    }
+
+    /// Human-readable description, e.g. `t1 slot1: dmb ishld`.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match *self {
+            Instrument::Fence { thread, slot, kind } => {
+                format!("t{thread} slot{slot}: {}", kind.mnemonic())
+            }
+            Instrument::Acquire { thread, pos } => format!("t{thread} acq@{pos}"),
+            Instrument::Release { thread, pos } => format!("t{thread} rel@{pos}"),
+            Instrument::Dep {
+                thread,
+                from_pos,
+                to_pos,
+                kind,
+            } => format!("t{thread} dep {kind:?} {from_pos}->{to_pos}"),
+        }
+    }
+}
+
+impl PartialOrd for Instrument {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Instrument {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// Static per-instrument cost table (ns per invocation): the paper's
+/// Eq. 2-inferred costs on the ARM/POWER test machines. These are the
+/// fallback weights when no measured cost is available or pricing fails
+/// the finiteness guard — and deliberately the *default* weights for the
+/// `dmb` variants, which idle-machine micro-timing cannot separate.
+const STATIC_FENCE_NS: [(FenceKind, f64); 7] = [
+    (FenceKind::DmbIsh, 17.0),
+    (FenceKind::DmbIshLd, 4.1),
+    (FenceKind::DmbIshSt, 2.3),
+    (FenceKind::Isb, 24.5),
+    (FenceKind::HwSync, 18.9),
+    (FenceKind::LwSync, 6.1),
+    (FenceKind::Compiler, 0.0),
+];
+const STATIC_ACQUIRE_NS: f64 = 2.0;
+const STATIC_RELEASE_NS: f64 = 2.5;
+const STATIC_DEP_NS: f64 = 0.5;
+
+/// Eq. 1/Eq. 2 round-trip pricing with the same finiteness discipline as
+/// [`crate::report::Analysis::with_savings`]: a non-finite or non-positive
+/// raw cost, a sensitivity outside `(0, 1)`, or a non-finite result falls
+/// back to `raw` unchanged.
+fn eq_price(k: f64, raw: f64) -> f64 {
+    if raw.is_finite() && raw > 0.0 && k.is_finite() && k > 0.0 && k < 1.0 {
+        let priced = estimate_cost(k, predicted_performance(k, raw));
+        if priced.is_finite() && priced > 0.0 {
+            return priced;
+        }
+    }
+    raw
+}
+
+/// Instrument weights for the hitting-set objective.
+// The shared `_ns` postfix is the unit, not noise — every weight in the
+// model is nanoseconds per invocation.
+#[allow(clippy::struct_field_names)]
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    fence_ns: [(FenceKind, f64); 7],
+    acquire_ns: f64,
+    release_ns: f64,
+    dep_ns: f64,
+}
+
+impl CostModel {
+    /// The raw static table.
+    #[must_use]
+    pub fn static_table() -> Self {
+        CostModel {
+            fence_ns: STATIC_FENCE_NS,
+            acquire_ns: STATIC_ACQUIRE_NS,
+            release_ns: STATIC_RELEASE_NS,
+            dep_ns: STATIC_DEP_NS,
+        }
+    }
+
+    /// The static table priced through the Eq. 1/Eq. 2 round trip at
+    /// sensitivity `k` (the [`eq_price`] guard falls back to the raw
+    /// entry on any non-finite input or result).
+    #[must_use]
+    pub fn priced(k: f64) -> Self {
+        let mut m = CostModel::static_table();
+        for (_, ns) in &mut m.fence_ns {
+            *ns = eq_price(k, *ns);
+        }
+        m.acquire_ns = eq_price(k, m.acquire_ns);
+        m.release_ns = eq_price(k, m.release_ns);
+        m.dep_ns = eq_price(k, m.dep_ns);
+        m
+    }
+
+    /// Cost of one fence kind.
+    #[must_use]
+    pub fn fence_ns(&self, kind: FenceKind) -> f64 {
+        self.fence_ns
+            .iter()
+            .find(|&&(k, _)| k == kind)
+            .map_or(0.0, |&(_, ns)| ns)
+    }
+
+    /// Cost of a *classed* fence under `model`: `Full` prices as the
+    /// model's full barrier, the weaker classes as their native encoding.
+    #[must_use]
+    pub fn class_ns(&self, class: FClass, model: ModelKind) -> f64 {
+        let kind = match (class, model) {
+            (FClass::Full, ModelKind::Power) => FenceKind::HwSync,
+            (FClass::Full, _) => FenceKind::DmbIsh,
+            (FClass::LwSync, _) => FenceKind::LwSync,
+            (FClass::StSt, _) => FenceKind::DmbIshSt,
+            (FClass::LdLdSt, _) => FenceKind::DmbIshLd,
+        };
+        self.fence_ns(kind)
+    }
+
+    /// Cost of one instrument.
+    #[must_use]
+    pub fn instrument_ns(&self, ins: &Instrument) -> f64 {
+        match *ins {
+            Instrument::Fence { kind, .. } => self.fence_ns(kind),
+            Instrument::Acquire { .. } => self.acquire_ns,
+            Instrument::Release { .. } => self.release_ns,
+            // A bogus address dependency is an ALU op; ctrl+isb pays the
+            // pipeline flush.
+            Instrument::Dep { kind, .. } => {
+                if kind == DepKind::CtrlIsb {
+                    self.fence_ns(FenceKind::Isb)
+                } else {
+                    self.dep_ns
+                }
+            }
+        }
+    }
+}
+
+/// Total priced cost (ns) of the ordering instruments already present in
+/// `g`: classed fences, acquire/release attributes, and dependency
+/// annotations. The yardstick hand-written strategies are compared with.
+#[must_use]
+pub fn graph_cost(g: &ProgramGraph, model: ModelKind, costs: &CostModel) -> f64 {
+    let fences: f64 = g
+        .fences
+        .iter()
+        .map(|f| costs.class_ns(f.class, model))
+        .sum();
+    let attrs: f64 = g
+        .accesses
+        .iter()
+        .map(|a| {
+            f64::from(u8::from(a.acquire)) * costs.acquire_ns
+                + f64::from(u8::from(a.release)) * costs.release_ns
+        })
+        .sum();
+    let deps: f64 = g
+        .deps
+        .iter()
+        .map(|&(_, _, k)| {
+            if k == DepKind::CtrlIsb {
+                costs.fence_ns(FenceKind::Isb)
+            } else {
+                costs.dep_ns
+            }
+        })
+        .sum();
+    fences + attrs + deps
+}
+
+/// What the target allows synthesis to place.
+#[derive(Debug, Clone, Copy)]
+pub struct SynthConfig {
+    /// Target model.
+    pub model: ModelKind,
+    /// Offer acquire/release upgrades (`ldar`/`stlr` exist on the target).
+    pub upgrades: bool,
+    /// Offer artificial address dependencies.
+    pub deps: bool,
+}
+
+impl SynthConfig {
+    /// The natural instrument set per model: ARM-family targets get
+    /// `dmb` fences plus acquire/release upgrades; POWER gets
+    /// `lwsync`/`sync` plus address dependencies (no `ldar`/`stlr` in the
+    /// ISA).
+    #[must_use]
+    pub fn for_model(model: ModelKind) -> Self {
+        match model {
+            ModelKind::Power => SynthConfig {
+                model,
+                upgrades: false,
+                deps: true,
+            },
+            _ => SynthConfig {
+                model,
+                upgrades: true,
+                deps: false,
+            },
+        }
+    }
+
+    /// Fences only — for targets whose strategy hook can only emit fence
+    /// sequences (the kernel barrier macros).
+    #[must_use]
+    pub fn fences_only(model: ModelKind) -> Self {
+        SynthConfig {
+            model,
+            upgrades: false,
+            deps: false,
+        }
+    }
+
+    /// Fence kinds available on the target, weakest first.
+    fn fence_kinds(self) -> &'static [FenceKind] {
+        match self.model {
+            ModelKind::Power => &[FenceKind::LwSync, FenceKind::HwSync],
+            _ => &[FenceKind::DmbIshSt, FenceKind::DmbIshLd, FenceKind::DmbIsh],
+        }
+    }
+}
+
+/// A synthesized placement.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// The chosen instruments, sorted by key.
+    pub instruments: Vec<Instrument>,
+    /// Total priced cost (ns per idiom invocation) of the instruments.
+    pub cost_ns: f64,
+    /// Hitting-set rounds: 1 when the eager local-cut constraints
+    /// sufficed, more when POWER-style lazy constraints were needed,
+    /// 0 when the program was already fully protected.
+    pub rounds: usize,
+}
+
+impl Placement {
+    /// The placement as explorer reinforcements (for dynamic validation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a placement holding an unclassed fence (`isb`, compiler
+    /// barrier) — synthesis never emits one.
+    #[must_use]
+    pub fn to_reinforce(&self) -> Vec<Reinforce> {
+        self.instruments
+            .iter()
+            .map(|ins| match *ins {
+                Instrument::Fence { thread, slot, kind } => Reinforce::Fence {
+                    thread,
+                    before: slot,
+                    class: FClass::of_fence(kind).expect("synthesized fences are classed"),
+                },
+                Instrument::Acquire { thread, pos } => Reinforce::Acquire { thread, pos },
+                Instrument::Release { thread, pos } => Reinforce::Release { thread, pos },
+                Instrument::Dep {
+                    thread,
+                    from_pos,
+                    to_pos,
+                    kind,
+                } => Reinforce::Dep {
+                    thread,
+                    from: from_pos,
+                    to: to_pos,
+                    kind,
+                },
+            })
+            .collect()
+    }
+
+    /// One-line description of the placement.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        if self.instruments.is_empty() {
+            "(nothing to place)".into()
+        } else {
+            self.instruments
+                .iter()
+                .map(Instrument::describe)
+                .collect::<Vec<_>>()
+                .join("; ")
+        }
+    }
+}
+
+/// Why synthesis failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthError {
+    /// A critical cycle has no candidate instrument that strengthens it —
+    /// the configured instrument set cannot protect this program.
+    NoCandidate {
+        /// Description of the offending cycle.
+        cycle: String,
+    },
+    /// Lazy constraint generation did not converge within the round
+    /// budget (indicates a checker/enumeration mismatch, not an input
+    /// problem).
+    Diverged {
+        /// Rounds executed before giving up.
+        rounds: usize,
+    },
+}
+
+impl std::fmt::Display for SynthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthError::NoCandidate { cycle } => {
+                write!(f, "no candidate instrument can protect cycle {cycle}")
+            }
+            SynthError::Diverged { rounds } => {
+                write!(
+                    f,
+                    "lazy constraint generation did not converge in {rounds} rounds"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+/// Apply `instruments` to a copy of `g`. Access ids are preserved: fences
+/// append as new [`FenceNode`]s (stream-style mnemonics, so pricing and
+/// linting treat them like lowered fences), upgrades set the access
+/// attribute, dependencies append unless the pair already has one.
+///
+/// # Panics
+///
+/// Panics on an unclassed fence kind or an out-of-range access position.
+#[must_use]
+pub fn apply_to_graph(g: &ProgramGraph, instruments: &[Instrument]) -> ProgramGraph {
+    let mut out = g.clone();
+    for ins in instruments {
+        match *ins {
+            Instrument::Fence { thread, slot, kind } => {
+                let class = FClass::of_fence(kind).expect("synthesized fences are classed");
+                out.fences.push(FenceNode {
+                    thread,
+                    slot,
+                    class,
+                    mnemonic: format!("{kind:?}"),
+                });
+            }
+            Instrument::Acquire { thread, pos } => {
+                let id = out.threads[thread][pos];
+                out.accesses[id].acquire = true;
+            }
+            Instrument::Release { thread, pos } => {
+                let id = out.threads[thread][pos];
+                out.accesses[id].release = true;
+            }
+            Instrument::Dep {
+                thread,
+                from_pos,
+                to_pos,
+                kind,
+            } => {
+                let from = out.threads[thread][from_pos];
+                let to = out.threads[thread][to_pos];
+                if out.dep_between(from, to).is_none() {
+                    out.deps.push((from, to, kind));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Apply a placement to platform instruction streams — the inverse of
+/// [`ProgramGraph::from_streams`]'s access mapping. Fences insert before
+/// the shared-access instruction at their slot (appending at the end of
+/// the stream when the slot equals the access count), upgrades rewrite
+/// the access's ordering attribute, and dependencies come back as
+/// [`StreamDep`] annotations against the *rewritten* streams.
+///
+/// # Panics
+///
+/// Panics when an instrument addresses a position the streams do not
+/// have, or upgrades an instruction of the wrong role.
+#[must_use]
+pub fn apply_to_streams(
+    threads: &[Vec<Instr>],
+    instruments: &[Instrument],
+) -> (Vec<Vec<Instr>>, Vec<StreamDep>) {
+    let mut out: Vec<Vec<Instr>> = threads.to_vec();
+
+    // Shared-access instruction indices per thread, mirroring the
+    // from_streams access mapping (private accesses are not accesses).
+    let access_idx = |stream: &[Instr]| -> Vec<usize> {
+        stream
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| {
+                matches!(
+                    i,
+                    Instr::Load { loc, .. } | Instr::Store { loc, .. } | Instr::Cas { loc, .. }
+                    if !matches!(loc, Loc::Private(_))
+                )
+            })
+            .map(|(j, _)| j)
+            .collect()
+    };
+
+    // Fences first (descending slot, so earlier insertions don't shift
+    // later ones); same-slot fences insert in ascending rank order.
+    let mut fences: Vec<(usize, usize, FenceKind)> = instruments
+        .iter()
+        .filter_map(|ins| match *ins {
+            Instrument::Fence { thread, slot, kind } => Some((thread, slot, kind)),
+            _ => None,
+        })
+        .collect();
+    fences.sort_by_key(|&(t, slot, kind)| (t, std::cmp::Reverse((slot, fence_rank(kind)))));
+    for (t, slot, kind) in fences {
+        let idx = access_idx(&out[t]);
+        let at = if slot == idx.len() {
+            out[t].len()
+        } else {
+            idx[slot]
+        };
+        out[t].insert(at, Instr::Fence(kind));
+    }
+
+    // Upgrades and dependencies against post-insertion indices.
+    let maps: Vec<Vec<usize>> = out.iter().map(|s| access_idx(s)).collect();
+    let mut deps: Vec<StreamDep> = vec![];
+    for ins in instruments {
+        match *ins {
+            Instrument::Fence { .. } => {}
+            Instrument::Acquire { thread, pos } => match &mut out[thread][maps[thread][pos]] {
+                Instr::Load { ord, .. } => *ord = AccessOrd::Acquire,
+                other => panic!("acquire upgrade on a non-load: {other:?}"),
+            },
+            Instrument::Release { thread, pos } => match &mut out[thread][maps[thread][pos]] {
+                Instr::Store { ord, .. } => *ord = AccessOrd::Release,
+                other => panic!("release upgrade on a non-store: {other:?}"),
+            },
+            Instrument::Dep {
+                thread,
+                from_pos,
+                to_pos,
+                kind,
+            } => deps.push(StreamDep {
+                thread,
+                from: maps[thread][from_pos],
+                to: maps[thread][to_pos],
+                kind,
+            }),
+        }
+    }
+    (out, deps)
+}
+
+/// Enumerate the candidate bundles that could strengthen the pair
+/// `(a_id, b_id)`, validated against the constraint-check semantics: a
+/// bundle is a candidate iff applying it changes the pair's [`PairCut`]
+/// strength. Returned in canonical order (slots ascending, fence kinds
+/// weakest first, then upgrades, the `RCsc` pair, dependencies).
+fn pair_candidates(
+    g: &ProgramGraph,
+    cfg: SynthConfig,
+    a_id: usize,
+    b_id: usize,
+) -> Vec<Vec<Instrument>> {
+    let model = cfg.model;
+    let base = pair_cut(g, model, a_id, b_id, None);
+    let (a, b) = (&g.accesses[a_id], &g.accesses[b_id]);
+    let thread = a.thread;
+
+    let mut bundles: Vec<Vec<Instrument>> = vec![];
+    for slot in (a.pos + 1)..=b.pos {
+        for &kind in cfg.fence_kinds() {
+            bundles.push(vec![Instrument::Fence { thread, slot, kind }]);
+        }
+    }
+    if cfg.upgrades {
+        if a.is_load && !a.acquire {
+            bundles.push(vec![Instrument::Acquire { thread, pos: a.pos }]);
+        }
+        if b.is_store && !b.release {
+            bundles.push(vec![Instrument::Release { thread, pos: b.pos }]);
+        }
+        // The RCsc stlr;ldar pair: one bundle, shared-priced with its
+        // parts when both ends are reused.
+        if a.is_store && !a.release && b.is_load && !b.acquire {
+            bundles.push(vec![
+                Instrument::Release { thread, pos: a.pos },
+                Instrument::Acquire { thread, pos: b.pos },
+            ]);
+        }
+    }
+    if cfg.deps && a.is_load && g.dep_between(a_id, b_id).is_none() {
+        bundles.push(vec![Instrument::Dep {
+            thread,
+            from_pos: a.pos,
+            to_pos: b.pos,
+            kind: DepKind::Addr,
+        }]);
+    }
+
+    bundles
+        .into_iter()
+        .filter(|bundle| {
+            let g2 = apply_to_graph(g, bundle);
+            pair_cut(&g2, model, a_id, b_id, None).stronger_than(base)
+        })
+        .collect()
+}
+
+/// The multi-access program-order legs of a cycle.
+fn po_legs(cyc: &CriticalCycle) -> Vec<(usize, usize)> {
+    cyc.legs.iter().copied().filter(|&(e, x)| e != x).collect()
+}
+
+/// Exact weighted hitting set by branch-and-bound with a greedy seed.
+/// Cost of a solution is the priced sum over its *distinct* instruments.
+/// Deterministic: among equal-cost solutions the lexicographically
+/// smallest sorted instrument-key vector wins.
+struct HittingSet<'a> {
+    cands: &'a [Vec<Instrument>],
+    constraints: &'a [Vec<usize>],
+    costs: &'a CostModel,
+    best_cost: f64,
+    best_keys: Vec<(usize, usize, u8, usize, u8)>,
+    best_chosen: Vec<usize>,
+}
+
+const EPS: f64 = 1e-9;
+
+impl HittingSet<'_> {
+    fn marginal(&self, ci: usize, instrs: &[Instrument]) -> f64 {
+        self.cands[ci]
+            .iter()
+            .filter(|ins| !instrs.contains(ins))
+            .map(|ins| self.costs.instrument_ns(ins))
+            .sum()
+    }
+
+    fn keys_of(instrs: &[Instrument]) -> Vec<(usize, usize, u8, usize, u8)> {
+        let mut keys: Vec<_> = instrs.iter().map(Instrument::key).collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    fn offer(&mut self, cost: f64, chosen: &[usize], instrs: &[Instrument]) {
+        let keys = Self::keys_of(instrs);
+        if cost < self.best_cost - EPS
+            || ((cost - self.best_cost).abs() <= EPS && keys < self.best_keys)
+        {
+            self.best_cost = cost;
+            self.best_keys = keys;
+            self.best_chosen = chosen.to_vec();
+        }
+    }
+
+    /// Greedy cover: repeatedly take the candidate with the best marginal
+    /// cost per newly hit constraint. Seeds the branch-and-bound bound.
+    fn greedy(&mut self) {
+        let mut unhit: Vec<usize> = (0..self.constraints.len()).collect();
+        let mut chosen: Vec<usize> = vec![];
+        let mut instrs: Vec<Instrument> = vec![];
+        let mut cost = 0.0;
+        while !unhit.is_empty() {
+            let mut pick: Option<(f64, usize, usize)> = None; // (score, ci, hits)
+            for ci in 0..self.cands.len() {
+                let hits = unhit
+                    .iter()
+                    .filter(|&&c| self.constraints[c].contains(&ci))
+                    .count();
+                if hits == 0 || chosen.contains(&ci) {
+                    continue;
+                }
+                #[allow(clippy::cast_precision_loss)] // hits is tiny
+                let score = self.marginal(ci, &instrs) / hits as f64;
+                if pick.is_none_or(|(s, _, _)| score < s - EPS) {
+                    pick = Some((score, ci, hits));
+                }
+            }
+            let Some((_, ci, _)) = pick else {
+                // A constraint with no candidates: infeasible; leave the
+                // bound at infinity and let branch-and-bound report it.
+                return;
+            };
+            cost += self.marginal(ci, &instrs);
+            for ins in &self.cands[ci] {
+                if !instrs.contains(ins) {
+                    instrs.push(*ins);
+                }
+            }
+            chosen.push(ci);
+            unhit.retain(|&c| !self.constraints[c].contains(&ci));
+        }
+        self.offer(cost, &chosen, &instrs);
+    }
+
+    fn branch(&mut self, chosen: &mut Vec<usize>, instrs: &mut Vec<Instrument>, cost: f64) {
+        // Cost-only pruning: suite-scale problems have a handful of
+        // constraints, so a nontrivial admissible lower bound is not
+        // worth the sharing-aware bookkeeping it would need.
+        if cost > self.best_cost + EPS {
+            return;
+        }
+        // Branch on the unhit constraint with the fewest candidates
+        // (lowest index on ties).
+        let next = self
+            .constraints
+            .iter()
+            .enumerate()
+            .filter(|(_, set)| !set.iter().any(|ci| chosen.contains(ci)))
+            .min_by_key(|(i, set)| (set.len(), *i));
+        let Some((_, set)) = next else {
+            self.offer(cost, chosen, instrs);
+            return;
+        };
+        for &ci in set {
+            let added: Vec<Instrument> = self.cands[ci]
+                .iter()
+                .filter(|ins| !instrs.contains(ins))
+                .copied()
+                .collect();
+            let add_cost: f64 = added.iter().map(|i| self.costs.instrument_ns(i)).sum();
+            chosen.push(ci);
+            instrs.extend(added.iter().copied());
+            self.branch(chosen, instrs, cost + add_cost);
+            instrs.truncate(instrs.len() - added.len());
+            chosen.pop();
+        }
+    }
+}
+
+fn solve_hitting_set(
+    cands: &[Vec<Instrument>],
+    constraints: &[Vec<usize>],
+    costs: &CostModel,
+) -> Vec<Instrument> {
+    let mut solver = HittingSet {
+        cands,
+        constraints,
+        costs,
+        best_cost: f64::INFINITY,
+        best_keys: vec![],
+        best_chosen: vec![],
+    };
+    solver.greedy();
+    solver.branch(&mut vec![], &mut vec![], 0.0);
+    let mut instruments: Vec<Instrument> = vec![];
+    for &ci in &solver.best_chosen {
+        for ins in &cands[ci] {
+            if !instruments.contains(ins) {
+                instruments.push(*ins);
+            }
+        }
+    }
+    instruments.sort_unstable();
+    instruments
+}
+
+/// Synthesize the minimal-cost placement protecting every critical cycle
+/// of `g` under `cfg.model`.
+///
+/// # Errors
+///
+/// [`SynthError::NoCandidate`] when some unprotected cycle cannot be
+/// strengthened by any instrument the configuration allows;
+/// [`SynthError::Diverged`] if lazy constraint generation exceeds its
+/// round budget (a solver bug, not an input property).
+pub fn synthesize(
+    g: &ProgramGraph,
+    cfg: SynthConfig,
+    costs: &CostModel,
+) -> Result<Placement, SynthError> {
+    const MAX_ROUNDS: usize = 32;
+    let model = cfg.model;
+    let cycles = critical_cycles(g);
+    let open: Vec<&CriticalCycle> = cycles
+        .iter()
+        .filter(|c| !check_cycle(g, model, c).protected)
+        .collect();
+    if open.is_empty() {
+        return Ok(Placement {
+            instruments: vec![],
+            cost_ns: 0.0,
+            rounds: 0,
+        });
+    }
+
+    // Candidate enumeration over every multi-access leg of every open
+    // cycle; eager constraints demand a local cut on every uncut leg
+    // (necessary under every model — a leg without a local cut
+    // contributes no edge that could close the constraint graph across
+    // it on the MCA side, and POWER's cumulative/global strengths imply
+    // the local one in this checker).
+    let mut cands: Vec<Vec<Instrument>> = vec![];
+    let mut constraints: Vec<Vec<usize>> = vec![];
+    let register = |cands: &mut Vec<Vec<Instrument>>, bundle: Vec<Instrument>| -> usize {
+        cands.iter().position(|c| *c == bundle).unwrap_or_else(|| {
+            cands.push(bundle);
+            cands.len() - 1
+        })
+    };
+    for cyc in &open {
+        for (a_id, b_id) in po_legs(cyc) {
+            let bundles = pair_candidates(g, cfg, a_id, b_id);
+            let ids: Vec<usize> = bundles
+                .into_iter()
+                .map(|b| register(&mut cands, b))
+                .collect();
+            if !pair_cut(g, model, a_id, b_id, None).local {
+                let locals: Vec<usize> = ids
+                    .iter()
+                    .copied()
+                    .filter(|&ci| {
+                        let g2 = apply_to_graph(g, &cands[ci]);
+                        pair_cut(&g2, model, a_id, b_id, None).local
+                    })
+                    .collect();
+                if locals.is_empty() {
+                    return Err(SynthError::NoCandidate {
+                        cycle: describe_cycle(g, cyc),
+                    });
+                }
+                if !constraints.contains(&locals) {
+                    constraints.push(locals);
+                }
+            }
+        }
+    }
+
+    for round in 1..=MAX_ROUNDS {
+        let solution = solve_hitting_set(&cands, &constraints, costs);
+        let applied = apply_to_graph(g, &solution);
+        let failing: Vec<&&CriticalCycle> = open
+            .iter()
+            .filter(|c| !check_cycle(&applied, model, c).protected)
+            .collect();
+        if failing.is_empty() {
+            let cost_ns = solution.iter().map(|i| costs.instrument_ns(i)).sum();
+            return Ok(Placement {
+                instruments: solution,
+                cost_ns,
+                rounds: round,
+            });
+        }
+        // Lazy constraints: for each failing cycle, the unchosen
+        // candidates that add any strength bit to one of its legs beyond
+        // the trial placement. Per-leg strength is monotone in the
+        // instrument set, so every feasible superset of the trial hits
+        // this set; and the trial itself does not, so each round strictly
+        // excludes the current solution.
+        for cyc in failing {
+            let legs = po_legs(cyc);
+            let current: Vec<PairCut> = legs
+                .iter()
+                .map(|&(a, b)| pair_cut(&applied, model, a, b, None))
+                .collect();
+            let escape: Vec<usize> = (0..cands.len())
+                .filter(|&ci| {
+                    // Candidates already contained in the trial placement
+                    // add nothing beyond `applied`, so they filter out
+                    // here naturally — the escape set never contains a
+                    // chosen candidate, which is what guarantees each
+                    // round strictly excludes the current solution.
+                    let g2 = apply_to_graph(&applied, &cands[ci]);
+                    legs.iter()
+                        .zip(&current)
+                        .any(|(&(a, b), cur)| pair_cut(&g2, model, a, b, None).stronger_than(*cur))
+                })
+                .collect();
+            if escape.is_empty() {
+                return Err(SynthError::NoCandidate {
+                    cycle: describe_cycle(g, cyc),
+                });
+            }
+            if !constraints.contains(&escape) {
+                constraints.push(escape);
+            }
+        }
+    }
+    Err(SynthError::Diverged { rounds: MAX_ROUNDS })
+}
+
+fn describe_cycle(g: &ProgramGraph, cyc: &CriticalCycle) -> String {
+    cyc.legs
+        .iter()
+        .map(|&(e, x)| {
+            if e == x {
+                g.describe(e)
+            } else {
+                format!("{}..{}", g.describe(e), g.describe(x))
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
+
+#[cfg(test)]
+// Exact float equality is deliberate here: the empty placement costs
+// exactly 0.0 and the fallback path must return table values unchanged.
+#[allow(clippy::float_cmp)]
+mod tests {
+    use super::*;
+    use wmm_litmus::suite;
+    use ModelKind::{ArmV8, Power, Sc, Tso};
+
+    fn synth_litmus(
+        entry: &suite::SuiteEntry,
+        model: ModelKind,
+    ) -> (ProgramGraph, Result<Placement, SynthError>) {
+        let g = ProgramGraph::from_litmus(&entry.test);
+        let p = synthesize(
+            &g,
+            SynthConfig::for_model(model),
+            &CostModel::static_table(),
+        );
+        (g, p)
+    }
+
+    fn protected(g: &ProgramGraph, model: ModelKind) -> bool {
+        critical_cycles(g)
+            .iter()
+            .all(|c| check_cycle(g, model, c).protected)
+    }
+
+    #[test]
+    fn already_protected_program_places_nothing() {
+        let (_, p) = synth_litmus(&suite::store_buffering(), Sc);
+        let p = p.unwrap();
+        assert!(p.instruments.is_empty());
+        assert_eq!(p.rounds, 0);
+        assert_eq!(p.cost_ns, 0.0);
+    }
+
+    #[test]
+    fn sb_on_armv8_rediscovers_the_rcsc_pair() {
+        // JDK9's insight: stlr;ldar is cheaper than dmb between a volatile
+        // store and a volatile load. Synthesis finds it from costs alone.
+        let (g, p) = synth_litmus(&suite::store_buffering(), ArmV8);
+        let p = p.unwrap();
+        assert_eq!(
+            p.instruments,
+            vec![
+                Instrument::Release { thread: 0, pos: 0 },
+                Instrument::Acquire { thread: 0, pos: 1 },
+                Instrument::Release { thread: 1, pos: 0 },
+                Instrument::Acquire { thread: 1, pos: 1 },
+            ]
+        );
+        assert!(protected(&apply_to_graph(&g, &p.instruments), ArmV8));
+        assert!((p.cost_ns - 2.0 * (STATIC_ACQUIRE_NS + STATIC_RELEASE_NS)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sb_on_tso_needs_full_fences() {
+        // No RCsc rule under TSO: only a full barrier cuts store->load.
+        let (g, p) = synth_litmus(&suite::store_buffering(), Tso);
+        let p = p.unwrap();
+        assert_eq!(
+            p.instruments,
+            vec![
+                Instrument::Fence {
+                    thread: 0,
+                    slot: 1,
+                    kind: FenceKind::DmbIsh
+                },
+                Instrument::Fence {
+                    thread: 1,
+                    slot: 1,
+                    kind: FenceKind::DmbIsh
+                },
+            ]
+        );
+        assert!(protected(&apply_to_graph(&g, &p.instruments), Tso));
+    }
+
+    #[test]
+    fn mp_on_power_uses_lwsync_and_an_address_dependency() {
+        // The classic cheap POWER strategy: cumulative lwsync on the
+        // writer, a bogus address dependency on the reader.
+        let (g, p) = synth_litmus(&suite::message_passing(), Power);
+        let p = p.unwrap();
+        assert_eq!(
+            p.instruments,
+            vec![
+                Instrument::Fence {
+                    thread: 0,
+                    slot: 1,
+                    kind: FenceKind::LwSync
+                },
+                Instrument::Dep {
+                    thread: 1,
+                    from_pos: 0,
+                    to_pos: 1,
+                    kind: DepKind::Addr
+                },
+            ]
+        );
+        assert!(protected(&apply_to_graph(&g, &p.instruments), Power));
+    }
+
+    #[test]
+    fn mp_on_armv8_prefers_ishst_and_acquire() {
+        let (g, p) = synth_litmus(&suite::message_passing(), ArmV8);
+        let p = p.unwrap();
+        assert_eq!(
+            p.instruments,
+            vec![
+                Instrument::Fence {
+                    thread: 0,
+                    slot: 1,
+                    kind: FenceKind::DmbIshSt
+                },
+                Instrument::Acquire { thread: 1, pos: 0 },
+            ]
+        );
+        assert!(protected(&apply_to_graph(&g, &p.instruments), ArmV8));
+    }
+
+    #[test]
+    fn iriw_on_power_forces_global_syncs_via_lazy_constraints() {
+        // iriw_lwsyncs: every pair is locally cut, yet the cycle is
+        // observable — only the lazy rounds can discover that both
+        // readers need the global strength of sync.
+        let (g, p) = synth_litmus(&suite::iriw_lwsyncs(), Power);
+        let p = p.unwrap();
+        assert!(p.rounds > 1, "must have needed lazy constraints");
+        assert_eq!(
+            p.instruments,
+            vec![
+                Instrument::Fence {
+                    thread: 2,
+                    slot: 1,
+                    kind: FenceKind::HwSync
+                },
+                Instrument::Fence {
+                    thread: 3,
+                    slot: 1,
+                    kind: FenceKind::HwSync
+                },
+            ]
+        );
+        assert!(protected(&apply_to_graph(&g, &p.instruments), Power));
+    }
+
+    #[test]
+    fn fences_only_config_never_places_upgrades_or_deps() {
+        let g = ProgramGraph::from_litmus(&suite::message_passing().test);
+        let p = synthesize(
+            &g,
+            SynthConfig::fences_only(ArmV8),
+            &CostModel::static_table(),
+        )
+        .unwrap();
+        assert!(p
+            .instruments
+            .iter()
+            .all(|i| matches!(i, Instrument::Fence { .. })));
+        assert!(protected(&apply_to_graph(&g, &p.instruments), ArmV8));
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        for entry in suite::full_suite() {
+            for model in [Sc, Tso, ArmV8, Power] {
+                let g = ProgramGraph::from_litmus(&entry.test);
+                let cfg = SynthConfig::for_model(model);
+                let costs = CostModel::priced(0.0087);
+                let a = synthesize(&g, cfg, &costs).unwrap();
+                let b = synthesize(&g, cfg, &costs).unwrap();
+                assert_eq!(
+                    a.instruments, b.instruments,
+                    "{}/{model:?}",
+                    entry.test.name
+                );
+                assert!((a.cost_ns - b.cost_ns).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn apply_to_streams_round_trips_through_from_streams() {
+        // Applying a placement to streams then re-deriving the graph must
+        // agree with applying it to the graph directly.
+        let threads = vec![
+            vec![
+                Instr::Store {
+                    loc: Loc::SharedRw(1),
+                    ord: AccessOrd::Plain,
+                },
+                Instr::Nop,
+                Instr::Store {
+                    loc: Loc::SharedRw(2),
+                    ord: AccessOrd::Plain,
+                },
+            ],
+            vec![
+                Instr::Load {
+                    loc: Loc::SharedRw(2),
+                    ord: AccessOrd::Plain,
+                },
+                Instr::Load {
+                    loc: Loc::SharedRw(1),
+                    ord: AccessOrd::Plain,
+                },
+            ],
+        ];
+        let placement = [
+            Instrument::Fence {
+                thread: 0,
+                slot: 1,
+                kind: FenceKind::DmbIshSt,
+            },
+            Instrument::Acquire { thread: 1, pos: 0 },
+            Instrument::Dep {
+                thread: 1,
+                from_pos: 0,
+                to_pos: 1,
+                kind: DepKind::Addr,
+            },
+        ];
+        let (streams, deps) = apply_to_streams(&threads, &placement);
+        // The fence landed between the stores, after the Nop.
+        assert_eq!(streams[0][2], Instr::Fence(FenceKind::DmbIshSt));
+        let via_streams = ProgramGraph::from_streams("x", &streams, &deps);
+        let direct = apply_to_graph(&ProgramGraph::from_streams("x", &threads, &[]), &placement);
+        for model in [Sc, Tso, ArmV8, Power] {
+            assert_eq!(protected(&via_streams, model), protected(&direct, model));
+        }
+    }
+
+    #[test]
+    fn trailing_slot_appends_to_the_stream() {
+        let threads = vec![vec![Instr::Store {
+            loc: Loc::SharedRw(1),
+            ord: AccessOrd::Plain,
+        }]];
+        let (streams, _) = apply_to_streams(
+            &threads,
+            &[Instrument::Fence {
+                thread: 0,
+                slot: 1,
+                kind: FenceKind::DmbIsh,
+            }],
+        );
+        assert_eq!(streams[0].len(), 2);
+        assert_eq!(streams[0][1], Instr::Fence(FenceKind::DmbIsh));
+    }
+
+    #[test]
+    fn cost_model_pricing_guards_non_finite_sensitivity() {
+        // Eq. 1/Eq. 2 round-trip is the identity for valid k; invalid k
+        // falls back to the raw table instead of poisoning weights.
+        let sane = CostModel::priced(0.0087);
+        assert!((sane.fence_ns(FenceKind::DmbIsh) - 17.0).abs() < 1e-6);
+        for bad in [f64::NAN, 0.0, 1.0, 1.5, -0.2] {
+            let m = CostModel::priced(bad);
+            assert_eq!(m.fence_ns(FenceKind::LwSync), 6.1, "k={bad}");
+        }
+    }
+
+    #[test]
+    fn graph_cost_prices_hand_strategies() {
+        let costs = CostModel::static_table();
+        let mp = ProgramGraph::from_litmus(&suite::mp_fences().test);
+        // Two Full fences: dmb ish on ARM, sync on POWER.
+        assert!((graph_cost(&mp, ArmV8, &costs) - 34.0).abs() < 1e-9);
+        assert!((graph_cost(&mp, Power, &costs) - 37.8).abs() < 1e-9);
+        let rel_acq = ProgramGraph::from_litmus(&suite::mp_rel_acq().test);
+        assert!((graph_cost(&rel_acq, ArmV8, &costs) - 4.5).abs() < 1e-9);
+    }
+}

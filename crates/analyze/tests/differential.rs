@@ -5,19 +5,18 @@
 //! strategy is caught, shipped strategies pass, and the redundant-fence
 //! lint fires on the defensive JDK8 ARM lowering.
 
-use wmm_analyze::{analyze, check_cycle, critical_cycles, ProgramGraph, StreamDep};
+use wmm_analyze::{analyze, check_cycle, critical_cycles, ProgramGraph};
 use wmm_jvm::barrier::Composite;
 use wmm_jvm::jit::{lower, JavaOp, JitConfig};
 use wmm_jvm::strategy::arm_jdk8_barriers;
-use wmm_kernel::macros::KMacro;
-use wmm_kernel::rbd::{rbd_strategy, RbdStrategy};
+use wmm_kernel::publish::rbd_publish;
+use wmm_kernel::rbd::RbdStrategy;
 use wmm_litmus::explore::explore;
 use wmm_litmus::ops::ModelKind;
 use wmm_litmus::suite::full_suite;
 use wmm_sim::arch::Arch;
-use wmm_sim::isa::{AccessOrd, FenceKind, Instr, Loc};
+use wmm_sim::isa::{FenceKind, Instr, Loc};
 use wmmbench::image::flatten_streams;
-use wmmbench::strategy::FencingStrategy;
 
 const MODELS: [ModelKind; 4] = [
     ModelKind::Sc,
@@ -138,48 +137,9 @@ fn redundant_fence_lint_fires_on_defensive_jdk8_arm_lowering() {
 }
 
 // --- kernel read_barrier_depends strategies -------------------------------
-
-/// The RCU-style publication idiom `read_barrier_depends` exists for:
-/// writer initialises data then publishes a pointer; reader loads the
-/// pointer, invokes `read_barrier_depends`, dereferences.
-fn rbd_publish(which: RbdStrategy) -> (Vec<Vec<Instr>>, Vec<StreamDep>) {
-    let s = rbd_strategy(which);
-    let (data, ptr) = (Loc::SharedRw(0xDA7A), Loc::SharedRw(0x97E));
-    let store = |loc| Instr::Store {
-        loc,
-        ord: AccessOrd::Plain,
-    };
-    let load = |loc| Instr::Load {
-        loc,
-        ord: AccessOrd::Plain,
-    };
-
-    let mut writer = s.lower(&KMacro::WriteOnce);
-    writer.push(store(data));
-    writer.extend(s.lower(&KMacro::SmpWmb));
-    writer.extend(s.lower(&KMacro::WriteOnce));
-    writer.push(store(ptr));
-
-    let mut reader = s.lower(&KMacro::ReadOnce);
-    let ptr_load = reader.len();
-    reader.push(load(ptr));
-    reader.extend(s.lower(&KMacro::ReadBarrierDepends));
-    reader.extend(s.lower(&KMacro::ReadOnce));
-    let data_load = reader.len();
-    reader.push(load(data));
-
-    let deps = which
-        .dep_kind()
-        .map(|kind| StreamDep {
-            thread: 1,
-            from: ptr_load,
-            to: data_load,
-            kind,
-        })
-        .into_iter()
-        .collect();
-    (vec![writer, reader], deps)
-}
+//
+// The publication idiom itself now lives in `wmm_kernel::publish` (shared
+// with the fence_lint and fence_synth binaries); these tests consume it.
 
 #[test]
 fn rbd_strategies_split_exactly_as_the_paper_says() {

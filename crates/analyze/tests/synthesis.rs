@@ -1,0 +1,93 @@
+//! Differential validation of fence synthesis: for every litmus program in
+//! the suite × every model, the synthesized placement must pass **both**
+//! validators —
+//!
+//! * static: re-running the analyzer on the instrumented graph reports
+//!   zero unprotected critical cycles;
+//! * dynamic: the operational explorer can no longer reach the weak
+//!   outcome on the litmus test reinforced with the same placement.
+//!
+//! This is the acceptance criterion of the synthesis layer: the static
+//! candidate/constraint machinery and the operational models must agree
+//! on every placement the solver emits, not just on hand strategies.
+
+use wmm_analyze::{analyze, apply_to_graph, synthesize, CostModel, ProgramGraph, SynthConfig};
+use wmm_litmus::explore::explore;
+use wmm_litmus::ops::ModelKind;
+use wmm_litmus::suite::full_suite;
+
+const MODELS: [ModelKind; 4] = [
+    ModelKind::Sc,
+    ModelKind::Tso,
+    ModelKind::ArmV8,
+    ModelKind::Power,
+];
+
+fn assert_placement_valid_suite_wide(cfg_for: impl Fn(ModelKind) -> SynthConfig, tag: &str) {
+    let costs = CostModel::priced(0.0087);
+    let mut rows = 0usize;
+    for entry in full_suite() {
+        let g = ProgramGraph::from_litmus(&entry.test);
+        for model in MODELS {
+            let p = synthesize(&g, cfg_for(model), &costs).unwrap_or_else(|e| {
+                panic!(
+                    "{tag}: {}/{model:?}: synthesis failed: {e}",
+                    entry.test.name
+                )
+            });
+
+            let after = analyze(&apply_to_graph(&g, &p.instruments), model);
+            assert!(
+                after.protected(),
+                "{tag}: {}/{model:?}: static validator rejects [{}]: {} unprotected cycles",
+                entry.test.name,
+                p.describe(),
+                after.unprotected.len(),
+            );
+
+            let reinforced = entry.test.reinforced(&p.to_reinforce());
+            let weak_reachable = explore(&reinforced, model)
+                .allows_with_memory(&reinforced.interesting, &reinforced.memory);
+            assert!(
+                !weak_reachable,
+                "{tag}: {}/{model:?}: explorer still reaches the weak outcome despite [{}]",
+                entry.test.name,
+                p.describe(),
+            );
+            rows += 1;
+        }
+    }
+    // 30 shapes × 4 models; keep an explicit floor so suite growth cannot
+    // silently shrink coverage.
+    assert!(rows >= 120, "{tag}: only {rows} placements validated");
+}
+
+#[test]
+fn synthesized_placements_pass_both_validators() {
+    assert_placement_valid_suite_wide(SynthConfig::for_model, "for_model");
+}
+
+#[test]
+fn fence_only_placements_pass_both_validators() {
+    // The kernel backend can only realize plain fences; the restricted
+    // candidate space must still produce doubly-valid placements.
+    assert_placement_valid_suite_wide(SynthConfig::fences_only, "fences_only");
+}
+
+#[test]
+fn synthesis_is_deterministic_across_repeats() {
+    let costs = CostModel::priced(0.0087);
+    for entry in full_suite() {
+        let g = ProgramGraph::from_litmus(&entry.test);
+        for model in MODELS {
+            let a = synthesize(&g, SynthConfig::for_model(model), &costs).unwrap();
+            let b = synthesize(&g, SynthConfig::for_model(model), &costs).unwrap();
+            assert_eq!(
+                a.instruments, b.instruments,
+                "{}/{model:?}: unstable placement",
+                entry.test.name
+            );
+            assert_eq!(a.cost_ns.to_bits(), b.cost_ns.to_bits());
+        }
+    }
+}

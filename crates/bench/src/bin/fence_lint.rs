@@ -23,22 +23,21 @@
 
 use std::process::ExitCode;
 
-use wmm_analyze::{analyze, check_cycle, critical_cycles, Analysis, ProgramGraph, StreamDep};
-use wmm_bench::{machine, runs_dir};
+use wmm_analyze::{analyze, check_cycle, critical_cycles, Analysis, ProgramGraph};
+use wmm_bench::{machine, runs_dir, volatile_mp_idiom, volatile_sb_idiom};
 use wmm_harness::RunManifest;
 use wmm_jvm::barrier::Composite;
 use wmm_jvm::jit::{lower, JavaOp, JitConfig};
 use wmm_jvm::strategy::{arm_jdk8_barriers, power_jdk9, JvmStrategy};
-use wmm_kernel::macros::KMacro;
-use wmm_kernel::rbd::{rbd_strategy, RbdStrategy};
+use wmm_kernel::publish::rbd_publish;
+use wmm_kernel::rbd::RbdStrategy;
 use wmm_litmus::explore::explore;
 use wmm_litmus::ops::ModelKind;
 use wmm_litmus::suite::full_suite;
 use wmm_sim::arch::Arch;
-use wmm_sim::isa::{AccessOrd, FenceKind, Instr, Loc};
+use wmm_sim::isa::{FenceKind, Instr};
 use wmm_sim::machine::Machine;
 use wmmbench::image::flatten_streams;
-use wmmbench::strategy::FencingStrategy;
 
 /// Nominal fence sensitivity used to price redundant fences (spark on
 /// ARMv8, the paper's most barrier-sensitive workload — Fig. 5).
@@ -55,6 +54,7 @@ fn push_analysis(m: &mut RunManifest, label: &str, a: &Analysis) {
     m.push_cell(format!("{label}/cycles"), a.cycles as f64);
     m.push_cell(format!("{label}/unprotected"), a.unprotected.len() as f64);
     m.push_cell(format!("{label}/redundant"), a.redundant.len() as f64);
+    m.push_cell(format!("{label}/downgrade"), a.downgrade.len() as f64);
 }
 
 fn print_unprotected(a: &Analysis) {
@@ -80,6 +80,19 @@ fn print_redundant(a: &Analysis) {
         println!(
             "    redundant fence: {} at t{} slot {} ({place}{saving})",
             r.mnemonic, r.thread, r.slot
+        );
+    }
+}
+
+fn print_downgrade(a: &Analysis) {
+    for d in &a.downgrade {
+        let saving = d
+            .saving_ns
+            .map(|ns| format!(", est. saving {ns:.1} ns/invocation"))
+            .unwrap_or_else(|| ", unpriced".into());
+        println!(
+            "    over-strong fence: {} at t{} slot {} suffices as {}{saving}",
+            d.mnemonic, d.thread, d.slot, d.to_mnemonic
         );
     }
 }
@@ -136,22 +149,6 @@ fn litmus_section(manifest: &mut RunManifest, errors: &mut Vec<String>) {
 
 // --- section 2: JVM volatile idioms ---------------------------------------
 
-fn volatile_sb() -> Vec<Vec<JavaOp>> {
-    let (x, y) = (Loc::SharedRw(1), Loc::SharedRw(2));
-    vec![
-        vec![JavaOp::VolatileStore(x), JavaOp::VolatileLoad(y)],
-        vec![JavaOp::VolatileStore(y), JavaOp::VolatileLoad(x)],
-    ]
-}
-
-fn volatile_mp() -> Vec<Vec<JavaOp>> {
-    let (data, flag) = (Loc::SharedRw(3), Loc::SharedRw(4));
-    vec![
-        vec![JavaOp::FieldStore(data), JavaOp::VolatileStore(flag)],
-        vec![JavaOp::VolatileLoad(flag), JavaOp::FieldLoad(data)],
-    ]
-}
-
 fn jvm_analysis(
     name: &str,
     idiom: &[Vec<JavaOp>],
@@ -192,8 +189,8 @@ fn jvm_section(manifest: &mut RunManifest, errors: &mut Vec<String>) {
         ),
     ];
     let idioms: [(&str, Vec<Vec<JavaOp>>); 2] = [
-        ("volatile-SB", volatile_sb()),
-        ("volatile-MP", volatile_mp()),
+        ("volatile-SB", volatile_sb_idiom()),
+        ("volatile-MP", volatile_mp_idiom()),
     ];
 
     for (table, cfg, strategy, model, arch) in &tables {
@@ -208,11 +205,23 @@ fn jvm_section(manifest: &mut RunManifest, errors: &mut Vec<String>) {
             );
             print_unprotected(&a);
             print_redundant(&a);
+            print_downgrade(&a);
             push_analysis(manifest, &label, &a);
             if !a.protected() {
                 errors.push(format!(
                     "shipped JVM table {table} leaves {idiom_name} unprotected"
                 ));
+            }
+            // The defensive JDK8 writer brackets the MP publish store with
+            // full dmbs where a store-store barrier suffices: the downgrade
+            // lint must spot it.
+            if *table == "jdk8-arm"
+                && *idiom_name == "volatile-MP"
+                && !a.downgrade.iter().any(|d| d.to_mnemonic == "DmbIshSt")
+            {
+                errors.push(
+                    "expected a DmbIshSt downgrade on the JDK8 ARM volatile-MP writer".into(),
+                );
             }
         }
     }
@@ -221,7 +230,7 @@ fn jvm_section(manifest: &mut RunManifest, errors: &mut Vec<String>) {
     // the lint must fire (this is the redundancy demonstration).
     let a = jvm_analysis(
         "jvm/jdk8-arm/volatile-SB",
-        &volatile_sb(),
+        &volatile_sb_idiom(),
         &JitConfig::jdk8(Arch::ArmV8),
         &arm_jdk8_barriers(),
         ModelKind::ArmV8,
@@ -241,7 +250,7 @@ fn jvm_section(manifest: &mut RunManifest, errors: &mut Vec<String>) {
         .named("jdk8-arm+volatile=dmb.ishst (seeded bug)");
     let a = jvm_analysis(
         "jvm/seeded-bug/volatile-SB",
-        &volatile_sb(),
+        &volatile_sb_idiom(),
         &JitConfig::jdk8(Arch::ArmV8),
         &buggy,
         ModelKind::ArmV8,
@@ -259,48 +268,8 @@ fn jvm_section(manifest: &mut RunManifest, errors: &mut Vec<String>) {
 }
 
 // --- section 3: kernel read_barrier_depends -------------------------------
-
-/// The RCU-style publication idiom `read_barrier_depends` exists for:
-/// writer initialises data then publishes a pointer; reader loads the
-/// pointer, invokes the barrier, dereferences.
-fn rbd_publish(which: RbdStrategy) -> (Vec<Vec<Instr>>, Vec<StreamDep>) {
-    let s = rbd_strategy(which);
-    let (data, ptr) = (Loc::SharedRw(0xDA7A), Loc::SharedRw(0x97E));
-    let store = |loc| Instr::Store {
-        loc,
-        ord: AccessOrd::Plain,
-    };
-    let load = |loc| Instr::Load {
-        loc,
-        ord: AccessOrd::Plain,
-    };
-
-    let mut writer = s.lower(&KMacro::WriteOnce);
-    writer.push(store(data));
-    writer.extend(s.lower(&KMacro::SmpWmb));
-    writer.extend(s.lower(&KMacro::WriteOnce));
-    writer.push(store(ptr));
-
-    let mut reader = s.lower(&KMacro::ReadOnce);
-    let ptr_load = reader.len();
-    reader.push(load(ptr));
-    reader.extend(s.lower(&KMacro::ReadBarrierDepends));
-    reader.extend(s.lower(&KMacro::ReadOnce));
-    let data_load = reader.len();
-    reader.push(load(data));
-
-    let deps = which
-        .dep_kind()
-        .map(|kind| StreamDep {
-            thread: 1,
-            from: ptr_load,
-            to: data_load,
-            kind,
-        })
-        .into_iter()
-        .collect();
-    (vec![writer, reader], deps)
-}
+// The RCU-style publication idiom itself lives in `wmm_kernel::publish`,
+// shared with the differential tests and the fence_synth binary.
 
 fn kernel_section(manifest: &mut RunManifest, errors: &mut Vec<String>) {
     println!("== kernel read_barrier_depends strategies (Fig. 10) ==");
@@ -319,6 +288,7 @@ fn kernel_section(manifest: &mut RunManifest, errors: &mut Vec<String>) {
         );
         print_unprotected(&a);
         print_redundant(&a);
+        print_downgrade(&a);
         push_analysis(manifest, &label, &a);
 
         // §4.3.1: the base case and a bare control dependency do not order
@@ -333,6 +303,12 @@ fn kernel_section(manifest: &mut RunManifest, errors: &mut Vec<String>) {
         }
         if which == RbdStrategy::LaSr && a.redundant.is_empty() {
             errors.push("expected redundant-fence lints on the la/sr over-annotation".into());
+        }
+        // The full-dmb reader barrier only needs to order load→load: the
+        // downgrade lint must propose dmb ishld.
+        if which == RbdStrategy::DmbIsh && !a.downgrade.iter().any(|d| d.to_mnemonic == "DmbIshLd")
+        {
+            errors.push("expected a DmbIshLd downgrade on the rbd=dmb ish reader".into());
         }
     }
 }

@@ -7,20 +7,21 @@ use std::hash::Hash;
 
 use wmm_harness::SimTotals;
 use wmm_jvm::barrier::{all_site_combinations, sites_containing, Combined, Elemental};
-use wmm_jvm::jit::{JitConfig, VolatileMode};
+use wmm_jvm::jit::{JavaOp, JitConfig, VolatileMode};
 use wmm_jvm::strategy::{
     arm_jdk8_barriers, arm_storestore_as_full, power_jdk9, power_storestore_as_sync, JvmStrategy,
 };
 use wmm_kernel::macros::{default_arm_strategy, KMacro};
 use wmm_kernel::rbd::{rbd_strategy, RbdStrategy};
 use wmm_sim::arch::{armv8_xgene1, power7, Arch};
-use wmm_sim::isa::{FenceKind, Instr};
+use wmm_sim::isa::{FenceKind, Instr, Loc};
+use wmm_sim::machine::{Program, WorkloadCtx};
 use wmm_sim::Machine;
 use wmm_stats::Comparison;
 use wmm_workloads::dacapo::{dacapo_suite, profile, DacapoBench};
 use wmm_workloads::kernel::{kernel_profile, kernel_suite, lmbench_subs, KernelBench};
 use wmmbench::costfn::{Calibration, CostFunction};
-use wmmbench::exec::{Executor, SerialExecutor};
+use wmmbench::exec::{Executor, SerialExecutor, SimJob};
 use wmmbench::image::{compute_envelope, Injection, SiteRewriter};
 use wmmbench::model::{estimate_cost, SensitivityFit};
 use wmmbench::ranking::{ranking_matrix_with, RankingMatrix};
@@ -395,6 +396,73 @@ pub fn fence_microbenchmarks() -> Vec<(String, f64)> {
         rows.push((label.to_string(), ns));
     }
     rows
+}
+
+/// The Dekker-style SB idiom over volatile fields: the store→load ordering
+/// volatiles guarantee (shared by the `fence_lint` and `fence_synth`
+/// static-analysis binaries).
+pub fn volatile_sb_idiom() -> Vec<Vec<JavaOp>> {
+    let (x, y) = (Loc::SharedRw(1), Loc::SharedRw(2));
+    vec![
+        vec![JavaOp::VolatileStore(x), JavaOp::VolatileLoad(y)],
+        vec![JavaOp::VolatileStore(y), JavaOp::VolatileLoad(x)],
+    ]
+}
+
+/// The message-passing idiom: plain data store published by a volatile
+/// flag (shared by the `fence_lint` and `fence_synth` binaries).
+pub fn volatile_mp_idiom() -> Vec<Vec<JavaOp>> {
+    let (data, flag) = (Loc::SharedRw(3), Loc::SharedRw(4));
+    vec![
+        vec![JavaOp::FieldStore(data), JavaOp::VolatileStore(flag)],
+        vec![JavaOp::VolatileLoad(flag), JavaOp::FieldLoad(data)],
+    ]
+}
+
+/// Measured per-invocation fence costs, driven through the [`Executor`]
+/// seam (the same batch path the figure campaigns use) rather than a
+/// direct `Machine` call — `fence_synth` records these next to its
+/// Eq. 1/Eq. 2-priced static table as a cross-check.
+///
+/// Repetitions are fixed (not protocol-scaled) so the resulting manifest
+/// cells are identical under `--quick` and the full protocol.
+pub fn seam_fence_costs(exec: &dyn Executor, arch: Arch) -> Vec<(FenceKind, f64)> {
+    const REPS: usize = 2000;
+    let m = machine(arch);
+    let kinds: &[FenceKind] = match arch {
+        Arch::ArmV8 => &[
+            FenceKind::DmbIsh,
+            FenceKind::DmbIshLd,
+            FenceKind::DmbIshSt,
+            FenceKind::Isb,
+        ],
+        Arch::Power7 => &[FenceKind::HwSync, FenceKind::LwSync],
+    };
+    // The idle-machine context `Machine::time_sequence_ns` uses: §4.2.1's
+    // "basic microbenchmarking", with all the blind spots the paper notes.
+    let ctx = WorkloadCtx {
+        name: "micro".to_string(),
+        bp_pressure: 0.0,
+        load_pressure: 0.0,
+        l1_miss_rate: 0.0,
+        dram_frac: 0.0,
+        noise_amp: 0.0,
+    };
+    let jobs: Vec<SimJob> = kinds
+        .iter()
+        .map(|&k| SimJob {
+            machine: &m,
+            program: Program::new(vec![vec![Instr::Fence(k); REPS]]),
+            ctx: ctx.clone(),
+            seed: 7,
+        })
+        .collect();
+    let times = exec.run_batch(jobs);
+    kinds
+        .iter()
+        .zip(times)
+        .map(|(&k, t)| (k, t / REPS as f64))
+        .collect()
 }
 
 /// §4.2.1: JDK9 load-acquire/store-release vs JDK8 barriers on ARM, per

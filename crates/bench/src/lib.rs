@@ -19,6 +19,8 @@
 //! | Fig. 10 | [`experiments::fig10_rbd_strategies`] | `fig10_rbd_strategies` |
 //! | §4.3.1 cost table | [`experiments::rbd_cost_estimates`] | `table_rbd_costs` |
 //! | litmus matrix | `wmm_litmus::suite::run_full_suite` | `litmus_matrix` |
+//! | fence audit | `wmm_analyze::analyze` + Eq. 1 pricing | `fence_lint` |
+//! | fence synthesis | `wmm_analyze::synthesize` + dual validation | `fence_synth` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -500,9 +500,11 @@ mod tests {
 
     fn sample_totals() -> SimTotals {
         let mut totals = SimTotals::default();
-        let mut counters = Counters::default();
-        counters.loads = 120;
-        counters.stores = 60;
+        let mut counters = Counters {
+            loads: 120,
+            stores: 60,
+            ..Default::default()
+        };
         counters.record_fence(FenceKind::DmbIsh);
         counters.record_fence(FenceKind::DmbIsh);
         counters.record_fence(FenceKind::DmbIshSt);

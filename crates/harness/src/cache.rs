@@ -385,7 +385,7 @@ mod tests {
         let dir = std::env::temp_dir().join("wmm-harness-cache-test");
         let path = dir.join("sim.cache");
         let _ = std::fs::remove_file(&path);
-        let value = 1234.000_000_001_f64;
+        let value = 1_234.000_000_001_f64;
         {
             let cache = SimCache::with_disk(&path).unwrap();
             cache.put(7, value);

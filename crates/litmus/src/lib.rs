@@ -43,7 +43,10 @@
 
 pub mod explore;
 pub mod ops;
+#[warn(clippy::pedantic)]
+pub mod rewrite;
 pub mod suite;
 
 pub use explore::{explore, OutcomeSet};
 pub use ops::{DepKind, FClass, LOp, LitmusTest, ModelKind, Outcome};
+pub use rewrite::Reinforce;

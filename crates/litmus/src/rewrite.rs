@@ -1,0 +1,288 @@
+//! Reinforcing a litmus test with synthesized ordering instruments.
+//!
+//! The fence-synthesis layer (`wmm-analyze`) produces placements addressed
+//! by *access position* — "a fence of class `C` before access `k` of
+//! thread `t`", "upgrade access `k` to acquire". This module applies such
+//! a placement back onto a [`LitmusTest`] so the dynamic explorer can
+//! validate a synthesized program: after reinforcement the weak outcome
+//! must be unreachable.
+//!
+//! Access positions count only memory accesses (loads and stores), not
+//! fences — the coordinate system `wmm_analyze::graph::ProgramGraph` uses,
+//! so a placement maps over without translation. Fence insertion keeps
+//! every existing dependency annotation pointing at the op it pointed at
+//! before (op indices shift; dependency references are fixed up).
+
+use crate::ops::{DepKind, FClass, LOp, LitmusTest};
+
+/// One ordering instrument addressed by access position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reinforce {
+    /// Insert a fence of `class` between access `before - 1` and access
+    /// `before` of `thread` (`before` equal to the thread's access count
+    /// appends after the last access).
+    Fence {
+        /// Thread index.
+        thread: usize,
+        /// Access position the fence precedes.
+        before: usize,
+        /// Semantic fence class.
+        class: FClass,
+    },
+    /// Upgrade the load at access position `pos` to acquire (`ldar`).
+    Acquire {
+        /// Thread index.
+        thread: usize,
+        /// Access position of the load.
+        pos: usize,
+    },
+    /// Upgrade the store at access position `pos` to release (`stlr`).
+    Release {
+        /// Thread index.
+        thread: usize,
+        /// Access position of the store.
+        pos: usize,
+    },
+    /// Add a syntactic dependency from the load at access position `from`
+    /// to the access at position `to` of the same thread.
+    Dep {
+        /// Thread index.
+        thread: usize,
+        /// Access position of the source load.
+        from: usize,
+        /// Access position of the dependent access.
+        to: usize,
+        /// Dependency kind.
+        kind: DepKind,
+    },
+}
+
+/// Op index of the `pos`-th access of `ops` (`ops.len()` when `pos` is one
+/// past the last access, the append slot).
+fn op_of_access(ops: &[LOp], pos: usize) -> usize {
+    let mut seen = 0;
+    for (j, op) in ops.iter().enumerate() {
+        if op.is_access() {
+            if seen == pos {
+                return j;
+            }
+            seen += 1;
+        }
+    }
+    assert!(
+        pos == seen,
+        "access position {pos} out of range (thread has {seen} accesses)"
+    );
+    ops.len()
+}
+
+impl LitmusTest {
+    /// Apply `items` to a copy of this test: fences insert between the
+    /// named accesses, acquire/release upgrades set the access attribute,
+    /// and dependencies attach to the dependent op (load-side) or to
+    /// [`LitmusTest::store_deps`] (store-side). Existing dependency
+    /// annotations survive fence insertion. An existing dependency on the
+    /// target access is left untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an access position is out of range, when an upgrade
+    /// names an access of the wrong role, or when a dependency source is
+    /// not a load — a synthesized placement never does any of these.
+    #[must_use]
+    pub fn reinforced(&self, items: &[Reinforce]) -> LitmusTest {
+        let mut test = self.clone();
+
+        // Fences first: they shift op indices, so every existing dependency
+        // reference at or past the insertion point moves with its op.
+        for item in items {
+            if let Reinforce::Fence {
+                thread,
+                before,
+                class,
+            } = *item
+            {
+                let at = op_of_access(&test.threads[thread], before);
+                test.threads[thread].insert(at, LOp::Fence(class));
+                for op in &mut test.threads[thread][at + 1..] {
+                    if let LOp::Load {
+                        dep: Some((src, _)),
+                        ..
+                    } = op
+                    {
+                        if *src >= at {
+                            *src += 1;
+                        }
+                    }
+                }
+                for (dt, dj, src, _) in &mut test.store_deps {
+                    if *dt == thread {
+                        if *dj >= at {
+                            *dj += 1;
+                        }
+                        if *src >= at {
+                            *src += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Attribute upgrades and new dependencies, against post-insertion
+        // op indices.
+        for item in items {
+            match *item {
+                Reinforce::Fence { .. } => {}
+                Reinforce::Acquire { thread, pos } => {
+                    let at = op_of_access(&test.threads[thread], pos);
+                    match &mut test.threads[thread][at] {
+                        LOp::Load { acquire, .. } => *acquire = true,
+                        other => panic!("acquire upgrade on a non-load: {other:?}"),
+                    }
+                }
+                Reinforce::Release { thread, pos } => {
+                    let at = op_of_access(&test.threads[thread], pos);
+                    match &mut test.threads[thread][at] {
+                        LOp::Store { release, .. } => *release = true,
+                        other => panic!("release upgrade on a non-store: {other:?}"),
+                    }
+                }
+                Reinforce::Dep {
+                    thread,
+                    from,
+                    to,
+                    kind,
+                } => {
+                    let src = op_of_access(&test.threads[thread], from);
+                    let dst = op_of_access(&test.threads[thread], to);
+                    assert!(
+                        matches!(test.threads[thread][src], LOp::Load { .. }),
+                        "dependency source must be a load"
+                    );
+                    if test.dep_of(thread, dst).is_some() {
+                        continue;
+                    }
+                    match &mut test.threads[thread][dst] {
+                        LOp::Load { dep, .. } => *dep = Some((src, kind)),
+                        LOp::Store { .. } => test.store_deps.push((thread, dst, src, kind)),
+                        LOp::Fence(_) => panic!("dependency target must be an access"),
+                    }
+                }
+            }
+        }
+        test
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::explore;
+    use crate::ops::ModelKind;
+    use crate::suite;
+
+    fn weak_reachable(test: &LitmusTest, model: ModelKind) -> bool {
+        explore(test, model).allows_with_memory(&test.interesting, &test.memory)
+    }
+
+    #[test]
+    fn full_fences_reinforce_sb_like_the_hand_variant() {
+        let sb = suite::store_buffering();
+        let fenced = sb.test.reinforced(&[
+            Reinforce::Fence {
+                thread: 0,
+                before: 1,
+                class: FClass::Full,
+            },
+            Reinforce::Fence {
+                thread: 1,
+                before: 1,
+                class: FClass::Full,
+            },
+        ]);
+        for model in [
+            ModelKind::Sc,
+            ModelKind::Tso,
+            ModelKind::ArmV8,
+            ModelKind::Power,
+        ] {
+            assert!(!weak_reachable(&fenced, model), "{model:?}");
+        }
+        // The bare test is untouched: still observable on TSO.
+        assert!(weak_reachable(&sb.test, ModelKind::Tso));
+    }
+
+    #[test]
+    fn rel_acq_upgrades_match_the_hand_mp_variant() {
+        let mp = suite::message_passing();
+        let upgraded = mp.test.reinforced(&[
+            Reinforce::Release { thread: 0, pos: 1 },
+            Reinforce::Acquire { thread: 1, pos: 0 },
+        ]);
+        // Same split as suite::mp_rel_acq: forbidden on ARMv8 and POWER.
+        assert!(!weak_reachable(&upgraded, ModelKind::ArmV8));
+        assert!(!weak_reachable(&upgraded, ModelKind::Power));
+    }
+
+    #[test]
+    fn synthesized_dep_matches_the_hand_dmbst_addr_variant() {
+        let mp = suite::message_passing();
+        let reinforced = mp.test.reinforced(&[
+            Reinforce::Fence {
+                thread: 0,
+                before: 1,
+                class: FClass::StSt,
+            },
+            Reinforce::Dep {
+                thread: 1,
+                from: 0,
+                to: 1,
+                kind: DepKind::Addr,
+            },
+        ]);
+        // Same split as suite::mp_dmbst_addr: ARMv8 forbidden, POWER not.
+        assert!(!weak_reachable(&reinforced, ModelKind::ArmV8));
+        assert!(weak_reachable(&reinforced, ModelKind::Power));
+    }
+
+    #[test]
+    fn fence_insertion_preserves_existing_dep_references() {
+        let base = suite::mp_dmbst_addr().test;
+        // Insert a fence before the reader's first access: the reader's
+        // address dependency (op 1 -> op 0 before insertion) must follow
+        // its ops to (2 -> 1).
+        let t = base.reinforced(&[Reinforce::Fence {
+            thread: 1,
+            before: 0,
+            class: FClass::Full,
+        }]);
+        assert_eq!(t.dep_of(1, 2), Some((1, DepKind::Addr)));
+        assert!(!weak_reachable(&t, ModelKind::ArmV8));
+    }
+
+    #[test]
+    fn trailing_fence_appends_after_the_last_access() {
+        let sb = suite::store_buffering().test;
+        let t = sb.reinforced(&[Reinforce::Fence {
+            thread: 0,
+            before: 2,
+            class: FClass::Full,
+        }]);
+        assert!(matches!(t.threads[0][2], LOp::Fence(FClass::Full)));
+        // A trailing fence cuts nothing: still observable on ARMv8.
+        assert!(weak_reachable(&t, ModelKind::ArmV8));
+    }
+
+    #[test]
+    fn existing_dep_on_target_is_not_overwritten() {
+        let base = suite::mp_dmbst_addr().test;
+        let t = base.reinforced(&[Reinforce::Dep {
+            thread: 1,
+            from: 0,
+            to: 1,
+            kind: DepKind::Ctrl,
+        }]);
+        // The original (stronger) Addr dependency survives.
+        assert_eq!(t.dep_of(1, 1), Some((0, DepKind::Addr)));
+    }
+}

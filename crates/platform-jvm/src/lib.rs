@@ -42,4 +42,4 @@ pub mod strategy;
 pub use barrier::{Combined, Composite, Elemental};
 pub use jit::{JavaOp, JitConfig, VolatileMode};
 pub use optsites::{JvmPath, OptPass};
-pub use strategy::{arm_jdk8_barriers, power_jdk9, JvmStrategy};
+pub use strategy::{arm_jdk8_barriers, null_barriers, power_jdk9, with_placement, JvmStrategy};

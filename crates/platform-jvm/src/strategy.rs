@@ -1,9 +1,12 @@
 //! Fencing strategies: how combined barrier requests lower to instructions.
 
+use wmm_analyze::{apply_to_streams, Instrument, StreamDep};
 use wmm_sim::isa::{FenceKind, Instr};
+use wmmbench::image::flatten_streams;
 use wmmbench::strategy::FencingStrategy;
 
 use crate::barrier::{Combined, Elemental};
+use crate::jit::{lower, JavaOp, JitConfig};
 
 /// A named lowering from combined barriers to fence instructions.
 #[derive(Debug, Clone)]
@@ -18,6 +21,7 @@ pub struct JvmStrategy {
 enum LowerFn {
     ArmBarriers,
     Power,
+    Null,
 }
 
 fn lower_arm(c: Combined) -> Vec<Instr> {
@@ -81,6 +85,7 @@ impl FencingStrategy<Combined> for JvmStrategy {
         match self.lower_fn {
             LowerFn::ArmBarriers => lower_arm(*path),
             LowerFn::Power => lower_power(*path),
+            LowerFn::Null => vec![],
         }
     }
 }
@@ -104,6 +109,42 @@ pub fn power_jdk9() -> JvmStrategy {
         lower_fn: LowerFn::Power,
         override_at: None,
     }
+}
+
+/// The null strategy: every barrier site lowers to *nothing*, leaving the
+/// bare access skeleton. This is what fence synthesis starts from — the
+/// JIT's barrier requests are discarded and `wmm-analyze` re-derives a
+/// placement from the critical cycles alone.
+#[must_use]
+pub fn null_barriers() -> JvmStrategy {
+    JvmStrategy {
+        name: "null-barriers".into(),
+        lower_fn: LowerFn::Null,
+        override_at: None,
+    }
+}
+
+/// Lower `idiom` with every barrier site empty, then re-impose a
+/// synthesized `placement`: the synthesized counterpart of flattening
+/// under a hand strategy, returning the instrumented streams plus any
+/// artificial dependencies the placement carries.
+///
+/// `cfg` must be a barriers-mode config (JDK8-style): the JDK9 ARM mode
+/// bakes ordering into `ldar`/`stlr` accesses, so its lowering is never
+/// bare and synthesis on top of it would be trivially satisfied.
+///
+/// # Panics
+///
+/// Panics if the placement addresses accesses that do not exist in the
+/// bare lowering (see [`wmm_analyze::apply_to_streams`]).
+#[must_use]
+pub fn with_placement(
+    idiom: &[Vec<JavaOp>],
+    cfg: &JitConfig,
+    placement: &[Instrument],
+) -> (Vec<Vec<Instr>>, Vec<StreamDep>) {
+    let bare = flatten_streams(&lower(idiom, cfg), &null_barriers());
+    apply_to_streams(&bare, placement)
 }
 
 /// §4.2.1 experiment: ARM `StoreStore` generated as `dmb ish` instead of
@@ -221,5 +262,65 @@ mod tests {
     fn empty_combination_lowers_to_nothing() {
         assert!(arm_jdk8_barriers().lower(&Combined::EMPTY).is_empty());
         assert!(power_jdk9().lower(&Combined::EMPTY).is_empty());
+    }
+
+    #[test]
+    fn null_strategy_erases_every_site() {
+        let s = null_barriers();
+        for e in [
+            Elemental::LoadLoad,
+            Elemental::LoadStore,
+            Elemental::StoreLoad,
+            Elemental::StoreStore,
+        ] {
+            assert!(s.lower(&Combined::only(e)).is_empty(), "{e:?}");
+        }
+        assert!(s.lower(&Composite::Volatile.combined()).is_empty());
+    }
+
+    #[test]
+    fn with_placement_reimposes_fences_on_the_bare_lowering() {
+        use wmm_sim::arch::Arch;
+        use wmm_sim::isa::Loc;
+
+        let idiom = vec![
+            vec![
+                JavaOp::VolatileStore(Loc::SharedRw(1)),
+                JavaOp::VolatileLoad(Loc::SharedRw(2)),
+            ],
+            vec![
+                JavaOp::VolatileStore(Loc::SharedRw(2)),
+                JavaOp::VolatileLoad(Loc::SharedRw(1)),
+            ],
+        ];
+        let cfg = JitConfig::jdk8(Arch::ArmV8);
+
+        // Bare lowering: no fences at all.
+        let (bare, deps) = with_placement(&idiom, &cfg, &[]);
+        assert!(deps.is_empty());
+        assert!(bare.iter().flatten().all(|i| !matches!(i, Instr::Fence(_))));
+
+        // A full fence between each thread's store and load comes back.
+        let placement = [
+            Instrument::Fence {
+                thread: 0,
+                slot: 1,
+                kind: FenceKind::DmbIsh,
+            },
+            Instrument::Fence {
+                thread: 1,
+                slot: 1,
+                kind: FenceKind::DmbIsh,
+            },
+        ];
+        let (streams, _) = with_placement(&idiom, &cfg, &placement);
+        for t in &streams {
+            assert_eq!(
+                t.iter()
+                    .filter(|i| matches!(i, Instr::Fence(FenceKind::DmbIsh)))
+                    .count(),
+                1
+            );
+        }
     }
 }

@@ -15,6 +15,10 @@
 //!   `base case`, `ctrl`, `ctrl+isb`, `dmb ishld`, `dmb ish` and `la/sr`
 //!   (which also annotates `READ_ONCE`/`WRITE_ONCE`), each "replicating a
 //!   method for introducing ordering dependencies from the `ARMv8` manual";
+//! * [`publish`] — the RCU-style publication idiom those strategies exist
+//!   for, lowered under any strategy, plus the bridge mapping a
+//!   `wmm-analyze` synthesized fence placement back onto the kernel's
+//!   macro sites;
 //! * [`services`] — kernel code paths (syscall entry, network TX/RX over
 //!   loopback, RCU read sections, page allocation, scheduler wakeups) as
 //!   segment generators with macro sites at realistic densities, from which
@@ -28,9 +32,11 @@
 #![warn(missing_docs)]
 
 pub mod macros;
+pub mod publish;
 pub mod rbd;
 pub mod services;
 
 pub use macros::{default_arm_strategy, KMacro, KernelStrategy};
+pub use publish::{bare_publish, publish_idiom, rbd_publish, strategy_from_placement};
 pub use rbd::{rbd_strategy, RbdStrategy};
 pub use services::Service;

@@ -1,0 +1,232 @@
+//! The RCU-style publication idiom `read_barrier_depends` exists for, and
+//! the bridge between fence *synthesis* and kernel *strategies*.
+//!
+//! The idiom (§4.3.1): a writer initialises data then publishes a pointer;
+//! a reader loads the pointer, invokes `read_barrier_depends`, and
+//! dereferences. [`publish_idiom`] lowers it under any [`KernelStrategy`];
+//! [`rbd_publish`] instantiates the six Fig. 10 strategies.
+//!
+//! [`strategy_from_placement`] closes the loop with `wmm-analyze`'s fence
+//! synthesis: a placement computed on the bare idiom maps back onto the
+//! kernel's macro sites (`smp_wmb` on the writer, `read_barrier_depends`
+//! on the reader), so a synthesized solution can be re-lowered and priced
+//! exactly like a hand-written strategy.
+
+use wmm_analyze::{Instrument, StreamDep};
+use wmm_litmus::ops::DepKind;
+use wmm_sim::isa::{AccessOrd, FenceKind, Instr, Loc};
+use wmmbench::strategy::FencingStrategy;
+
+use crate::macros::{default_arm_strategy, KMacro, KernelStrategy};
+use crate::rbd::{rbd_strategy, RbdStrategy};
+
+/// Shared locations of the publication idiom.
+const DATA: Loc = Loc::SharedRw(0xDA7A);
+const PTR: Loc = Loc::SharedRw(0x97E);
+
+fn store(loc: Loc) -> Instr {
+    Instr::Store {
+        loc,
+        ord: AccessOrd::Plain,
+    }
+}
+
+fn load(loc: Loc) -> Instr {
+    Instr::Load {
+        loc,
+        ord: AccessOrd::Plain,
+    }
+}
+
+/// Lower the publication idiom under a kernel strategy: writer thread
+/// `WRITE_ONCE(data); smp_wmb(); WRITE_ONCE(ptr)`, reader thread
+/// `READ_ONCE(ptr); read_barrier_depends(); READ_ONCE(data)`. `dep`, if
+/// present, is the dependency the `read_barrier_depends` sequence carries
+/// from the pointer load to the data load (the ctrl variants).
+#[must_use]
+pub fn publish_idiom(
+    s: &KernelStrategy,
+    dep: Option<DepKind>,
+) -> (Vec<Vec<Instr>>, Vec<StreamDep>) {
+    let mut writer = s.lower(&KMacro::WriteOnce);
+    writer.push(store(DATA));
+    writer.extend(s.lower(&KMacro::SmpWmb));
+    writer.extend(s.lower(&KMacro::WriteOnce));
+    writer.push(store(PTR));
+
+    let mut reader = s.lower(&KMacro::ReadOnce);
+    let ptr_load = reader.len();
+    reader.push(load(PTR));
+    reader.extend(s.lower(&KMacro::ReadBarrierDepends));
+    reader.extend(s.lower(&KMacro::ReadOnce));
+    let data_load = reader.len();
+    reader.push(load(DATA));
+
+    let deps = dep
+        .map(|kind| StreamDep {
+            thread: 1,
+            from: ptr_load,
+            to: data_load,
+            kind,
+        })
+        .into_iter()
+        .collect();
+    (vec![writer, reader], deps)
+}
+
+/// The publication idiom lowered under a Fig. 10 `read_barrier_depends`
+/// strategy.
+#[must_use]
+pub fn rbd_publish(which: RbdStrategy) -> (Vec<Vec<Instr>>, Vec<StreamDep>) {
+    publish_idiom(&rbd_strategy(which), which.dep_kind())
+}
+
+/// The bare publication idiom: no barriers anywhere (what fence synthesis
+/// starts from). Thread 0 is `W data; W ptr`, thread 1 is `R ptr; R data`.
+#[must_use]
+pub fn bare_publish() -> (Vec<Vec<Instr>>, Vec<StreamDep>) {
+    (
+        vec![vec![store(DATA), store(PTR)], vec![load(PTR), load(DATA)]],
+        vec![],
+    )
+}
+
+/// Map a fence placement synthesized on [`bare_publish`] back onto kernel
+/// macro sites: writer fences between the two stores become the `smp_wmb`
+/// lowering, reader fences between the two loads become the
+/// `read_barrier_depends` lowering. A site the placement leaves bare is
+/// lowered to a compiler barrier (the kernel default for
+/// `read_barrier_depends`; for `smp_wmb` it *overrides* the default
+/// `dmb ishst`, keeping the re-lowered program faithful to the placement).
+///
+/// Returns `None` if the placement contains anything that has no macro
+/// site to live in: non-fence instruments (upgrades, dependencies) or
+/// fences outside the two inter-access slots.
+#[must_use]
+pub fn strategy_from_placement(instruments: &[Instrument]) -> Option<KernelStrategy> {
+    let mut wmb: Vec<Instr> = vec![];
+    let mut rbd: Vec<Instr> = vec![];
+    for ins in instruments {
+        match *ins {
+            Instrument::Fence {
+                thread: 0,
+                slot: 1,
+                kind,
+            } => wmb.push(Instr::Fence(kind)),
+            Instrument::Fence {
+                thread: 1,
+                slot: 1,
+                kind,
+            } => rbd.push(Instr::Fence(kind)),
+            _ => return None,
+        }
+    }
+    if wmb.is_empty() {
+        wmb.push(Instr::Fence(FenceKind::Compiler));
+    }
+    if rbd.is_empty() {
+        rbd.push(Instr::Fence(FenceKind::Compiler));
+    }
+    Some(
+        default_arm_strategy()
+            .with(KMacro::SmpWmb, wmb)
+            .with(KMacro::ReadBarrierDepends, rbd)
+            .named("rbd=synth"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_case_publish_matches_hand_construction() {
+        let (streams, deps) = rbd_publish(RbdStrategy::BaseCase);
+        assert_eq!(streams.len(), 2);
+        assert!(deps.is_empty());
+        // Writer: compiler barrier, data store, dmb ishst (default
+        // smp_wmb), compiler barrier, ptr store.
+        assert!(streams[0].contains(&Instr::Fence(FenceKind::DmbIshSt)));
+        assert!(
+            streams[0]
+                .iter()
+                .filter(|i| matches!(i, Instr::Store { .. }))
+                .count()
+                == 2
+        );
+    }
+
+    #[test]
+    fn ctrl_variants_carry_the_dependency() {
+        for which in [RbdStrategy::Ctrl, RbdStrategy::CtrlIsb] {
+            let (streams, deps) = rbd_publish(which);
+            assert_eq!(deps.len(), 1, "{}", which.label());
+            let d = &deps[0];
+            assert_eq!(d.thread, 1);
+            assert!(matches!(streams[1][d.from], Instr::Load { loc, .. } if loc == PTR));
+            assert!(matches!(streams[1][d.to], Instr::Load { loc, .. } if loc == DATA));
+        }
+    }
+
+    #[test]
+    fn bare_publish_has_no_fences() {
+        let (streams, deps) = bare_publish();
+        assert!(deps.is_empty());
+        for t in &streams {
+            assert!(t.iter().all(|i| !matches!(i, Instr::Fence(_))));
+        }
+    }
+
+    #[test]
+    fn placement_maps_onto_macro_sites() {
+        let s = strategy_from_placement(&[
+            Instrument::Fence {
+                thread: 0,
+                slot: 1,
+                kind: FenceKind::DmbIshSt,
+            },
+            Instrument::Fence {
+                thread: 1,
+                slot: 1,
+                kind: FenceKind::DmbIshLd,
+            },
+        ])
+        .expect("both fences sit on macro sites");
+        assert_eq!(
+            s.lower(&KMacro::SmpWmb),
+            vec![Instr::Fence(FenceKind::DmbIshSt)]
+        );
+        assert_eq!(
+            s.lower(&KMacro::ReadBarrierDepends),
+            vec![Instr::Fence(FenceKind::DmbIshLd)]
+        );
+    }
+
+    #[test]
+    fn empty_sites_relower_to_compiler_barriers() {
+        let s = strategy_from_placement(&[Instrument::Fence {
+            thread: 1,
+            slot: 1,
+            kind: FenceKind::DmbIsh,
+        }])
+        .expect("reader-only placement");
+        assert_eq!(
+            s.lower(&KMacro::SmpWmb),
+            vec![Instr::Fence(FenceKind::Compiler)],
+            "unplaced smp_wmb must not fall back to the strong default"
+        );
+    }
+
+    #[test]
+    fn off_site_instruments_have_no_kernel_home() {
+        // A trailing fence and an acquire upgrade cannot be expressed as a
+        // macro-site override.
+        assert!(strategy_from_placement(&[Instrument::Fence {
+            thread: 0,
+            slot: 2,
+            kind: FenceKind::DmbIsh,
+        }])
+        .is_none());
+        assert!(strategy_from_placement(&[Instrument::Acquire { thread: 1, pos: 0 }]).is_none());
+    }
+}
