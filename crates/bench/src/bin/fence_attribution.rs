@@ -21,7 +21,11 @@
 //! is always in-memory: attribution needs freshly simulated statistics, so
 //! a pre-populated disk cache would leave nothing to observe.
 //!
-//! Writes `results/runs/fence_attribution.json` (schema v2, telemetry
+//! Each per-kind row is also broken down per *site* (stable
+//! `t{thread}:{path}#{occ}` names from the observability layer), so a
+//! disagreement can be localised to the code path that caused it.
+//!
+//! Writes `results/runs/fence_attribution.json` (schema v3, telemetry
 //! included) for the `bench_gate` regression gate.
 
 use wmm_bench::{
@@ -81,6 +85,47 @@ fn main() {
         }
     }
     println!("{}", table.markdown());
+
+    // Per-site drill-down (tentpole of the observability layer): the same
+    // observed-vs-Eq.2 comparison, but at individual sites instead of
+    // per-kind aggregates. Shown for the heaviest sites; not gated — the
+    // per-kind rows above are the gated contract, and the per-site fold is
+    // cross-checked against them by `wmm_profile --strict`.
+    let mut site_rows: Vec<_> = [&fig5, &fig9]
+        .iter()
+        .flat_map(|r| r.site_rows.iter())
+        .collect();
+    site_rows.sort_by(|a, b| {
+        (b.fences as f64 * b.observed_ns)
+            .partial_cmp(&(a.fences as f64 * a.observed_ns))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.site.cmp(&b.site))
+    });
+    let mut site_table = Table::new(&[
+        "campaign",
+        "benchmark",
+        "site",
+        "fence",
+        "fences",
+        "observed_ns",
+        "eq2_ns",
+    ]);
+    for r in site_rows.iter().take(12) {
+        site_table.row(vec![
+            r.campaign.to_string(),
+            r.bench.clone(),
+            r.site.clone(),
+            r.fence.to_string(),
+            r.fences.to_string(),
+            format!("{:.2}", r.observed_ns),
+            format!("{:.2}", r.eq2_ns),
+        ]);
+    }
+    println!(
+        "Per-site observed cost vs Eq. 2 (top 12 of {} sites by total stall):",
+        site_rows.len()
+    );
+    println!("{}", site_table.markdown());
 
     let count = |r: &AttributionReport| r.rows.len();
     println!(

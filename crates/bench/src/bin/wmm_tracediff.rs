@@ -1,0 +1,154 @@
+//! `wmm_tracediff` — attribute a campaign-level time delta to the sites
+//! whose stall profile changed.
+//!
+//! Two modes:
+//!
+//! * **Builtin comparison** (default): profiles the §4.2.1 JDK8-barriers
+//!   and JDK9-`ldar`/`stlr` DaCapo campaigns under the same `ARMv8`
+//!   strategy and diffs them site by site. The JIT labels every volatile
+//!   access (`vol.ld`/`vol.st`) in both modes, so the same access joins on
+//!   the same row across JITs: the diff shows the `dmb` barrier sites of
+//!   the JDK8 image disappearing and the acquire/release surcharge
+//!   appearing on the access rows, with only scheduling noise left on the
+//!   pooled `:code` rows.
+//! * **Manifest mode** (`--base <m.json> --test <m.json>`): diffs the
+//!   per-site telemetry of two run manifests written by `wmm_profile`
+//!   (schema v3 with `telemetry.sites`), reporting deltas in cycles.
+//!
+//! The attribution quality metric is the *barrier-site share*: the
+//! fraction of the total absolute per-site delta carried by non-`:code`
+//! rows. For the builtin JDK8→JDK9 comparison this is the share of the
+//! delta attributed to volatile-access (and monitor/CAS barrier) sites;
+//! `--strict` (used in CI) exits non-zero below 0.90.
+//!
+//! Flags: `--quick`, `--threads N`, `--progress`, `--top N` (rows printed,
+//! default 10), `--strict`, `--base`/`--test` (manifest mode).
+//!
+//! Builtin mode writes `results/runs/wmm_tracediff.json` for the
+//! `bench_gate` regression gate.
+
+use wmm_bench::profiling::{profile_campaign, profile_from_records};
+use wmm_bench::{cli_config, cli_flag, cli_threads, runs_dir};
+use wmm_harness::{ParallelExecutor, RunManifest, SimCache};
+use wmm_obs::{Profile, ProfileDiff};
+use wmmbench::image::SiteMap;
+use wmmbench::report::Table;
+
+/// The value following `name` on the command line, if present.
+fn cli_opt(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Print the top-N rows of a diff, values through `fmt` (ns or cycles).
+fn print_diff(diff: &ProfileDiff, top: usize, unit: &str, scale: f64) {
+    let mut table = Table::new(&[
+        "site",
+        &format!("base_{unit}"),
+        &format!("test_{unit}"),
+        &format!("delta_{unit}"),
+        &format!("fence_d_{unit}"),
+        &format!("sb_d_{unit}"),
+        &format!("mem_d_{unit}"),
+    ]);
+    for r in diff.top(top) {
+        table.row(vec![
+            r.name.clone(),
+            format!("{:.0}", r.base_cycles * scale),
+            format!("{:.0}", r.test_cycles * scale),
+            format!("{:+.0}", r.delta_cycles * scale),
+            format!("{:+.0}", r.fence_delta * scale),
+            format!("{:+.0}", r.sb_delta * scale),
+            format!("{:+.0}", r.mem_delta * scale),
+        ]);
+    }
+    println!("{}", table.markdown());
+}
+
+/// Load the per-site profile out of a `wmm_profile` manifest.
+fn manifest_profile(path: &str) -> Profile {
+    let manifest = RunManifest::load(path).unwrap_or_else(|e| {
+        eprintln!("cannot load manifest `{path}`: {e}");
+        std::process::exit(2);
+    });
+    let Some(sites) = manifest.telemetry.and_then(|t| t.sites) else {
+        eprintln!("manifest `{path}` carries no per-site telemetry (run wmm_profile)");
+        std::process::exit(2);
+    };
+    profile_from_records(&sites)
+}
+
+fn main() {
+    let top: usize = cli_opt("--top").and_then(|v| v.parse().ok()).unwrap_or(10);
+    let strict = cli_flag("--strict");
+
+    // Manifest mode: diff two files, report in cycles, no manifest output.
+    if let (Some(base), Some(test)) = (cli_opt("--base"), cli_opt("--test")) {
+        println!("Per-site diff — {base} → {test}");
+        let diff = manifest_profile(&base).diff(&manifest_profile(&test));
+        print_diff(&diff, top, "cyc", 1.0);
+        let share = diff.share(|r| !SiteMap::is_code(&r.name));
+        println!(
+            "total delta {:+.0} cycles ({:.0} absolute); barrier-site share {:.1}%",
+            diff.total_delta(),
+            diff.abs_delta(),
+            100.0 * share
+        );
+        if strict && share < 0.90 {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let cfg = cli_config();
+    let exec = ParallelExecutor::new(cli_threads())
+        .with_progress(cli_flag("--progress"))
+        .with_cache(SimCache::in_memory());
+    let base = profile_campaign("jdk8-arm", cfg, &exec).expect("builtin campaign");
+    let test = profile_campaign("jdk9-arm", cfg, &exec).expect("builtin campaign");
+    println!(
+        "Per-site diff — {} → {} ({} benchmarks)",
+        base.campaign,
+        test.campaign,
+        base.benches.len()
+    );
+
+    let diff = base.merged().diff(&test.merged());
+    print_diff(&diff, top, "ns", base.ns_per_cycle);
+
+    let wall_delta = test.total_wall_ns() - base.total_wall_ns();
+    let share = diff.share(|r| !SiteMap::is_code(&r.name));
+    println!(
+        "wall: {:.0} ns → {:.0} ns ({:+.0} ns); per-site delta {:+.0} ns ({:.0} ns absolute)",
+        base.total_wall_ns(),
+        test.total_wall_ns(),
+        wall_delta,
+        diff.total_delta() * base.ns_per_cycle,
+        diff.abs_delta() * base.ns_per_cycle,
+    );
+    let pass = share >= 0.90;
+    println!(
+        "barrier-site share of the delta: {:.1}% (threshold 90%): {}",
+        100.0 * share,
+        if pass { "PASS" } else { "FAIL" }
+    );
+
+    let mut manifest = RunManifest::new("wmm_tracediff", "arm");
+    manifest.push_cell("jdk8-arm/wall_ns", base.total_wall_ns());
+    manifest.push_cell("jdk9-arm/wall_ns", test.total_wall_ns());
+    manifest.push_cell("wall_delta_ns", wall_delta);
+    manifest.push_cell("site_share", share);
+    manifest.push_cell("abs_delta_cycles", diff.abs_delta());
+    for r in diff.top(top) {
+        manifest.push_cell(format!("delta_cycles/{}", r.name), r.delta_cycles);
+    }
+    manifest.telemetry = Some(exec.telemetry());
+    let manifest_path = manifest.write(runs_dir()).expect("write manifest");
+    println!("wrote {}", manifest_path.display());
+    println!("[wmm-harness] {}", exec.summary());
+    if strict && !pass {
+        std::process::exit(1);
+    }
+}

@@ -455,6 +455,7 @@ pub fn seam_fence_costs(exec: &dyn Executor, arch: Arch) -> Vec<(FenceKind, f64)
             program: Program::new(vec![vec![Instr::Fence(k); REPS]]),
             ctx: ctx.clone(),
             seed: 7,
+            sited: false,
         })
         .collect();
     let times = exec.run_batch(jobs);
@@ -834,12 +835,38 @@ impl AttributionRow {
     }
 }
 
+/// One per-*site* observed fence cost, the finer-grained companion of an
+/// [`AttributionRow`]: the same Eq. 2 per-invocation estimate, set against
+/// the stall cycles one specific site's fences actually paid.
+#[derive(Debug, Clone)]
+pub struct SiteCostRow {
+    /// Campaign the row belongs to.
+    pub campaign: &'static str,
+    /// Benchmark name.
+    pub bench: String,
+    /// Stable site name (from the sited link's `SiteMap`).
+    pub site: String,
+    /// Fence mnemonic executed at the site.
+    pub fence: &'static str,
+    /// Fence executions at this site across the measurement samples.
+    pub fences: u64,
+    /// Observed ns per invocation at this site.
+    pub observed_ns: f64,
+    /// The benchmark-level Eq. 2 inferred ns per invocation (one estimate
+    /// per benchmark — Eq. 2 sees only the aggregate slowdown).
+    pub eq2_ns: f64,
+}
+
 /// The attribution rows for one campaign plus the sensitivity fits they
 /// were inverted through (for the run manifest).
 #[derive(Debug, Clone, Default)]
 pub struct AttributionReport {
     /// Per-(benchmark, fence) attribution rows.
     pub rows: Vec<AttributionRow>,
+    /// Per-site observed costs backing the rows, where the campaign runs
+    /// sited batches (fig5-arm does; fig9's differential design compares
+    /// two strategies whose site sets differ, so it stays per-kind).
+    pub site_rows: Vec<SiteCostRow>,
     /// `(label, fit)` pairs, one per benchmark whose fit converged.
     pub fits: Vec<(String, SensitivityFit)>,
 }
@@ -891,9 +918,13 @@ pub fn fig5_arm_fence_attribution(cfg: ExpConfig, exec: &dyn Executor) -> Attrib
         let base_rw = SiteRewriter::new(&nofence, Injection::None, env.clone());
         let test_rw = SiteRewriter::new(&dmb, Injection::None, env.clone());
         // Attribution batches first: their stats must be freshly simulated,
-        // and the sweep below then reuses the base cells from cache.
+        // and the sweep below then reuses the base cells from cache. The
+        // test side runs sited so the per-kind totals can also be reported
+        // per site; its times and totals are bit-identical to the unsited
+        // batch (the probe only observes values the executor computed).
         let (base_t, base_s) = batch_with_stats(&m, &bench, &base_rw, cfg.run, exec);
-        let (test_t, test_s) = batch_with_stats(&m, &bench, &test_rw, cfg.run, exec);
+        let test_b = crate::profiling::batch_with_profile(&m, &bench, &test_rw, cfg.run, exec);
+        let (test_t, test_s) = (test_b.times, test_b.totals);
         let cmp = Comparison::of_times(&test_t, &base_t);
         let s = sweep_with(
             &m,
@@ -926,6 +957,7 @@ pub fn fig5_arm_fence_attribution(cfg: ExpConfig, exec: &dyn Executor) -> Attrib
             .get(&FenceKind::DmbIsh)
             .unwrap_or(&0.0)
             + (test_s.sb_stall_cycles - base_s.sb_stall_cycles);
+        let eq2_ns = estimate_cost(fit.k, cmp.ratio);
         report.rows.push(AttributionRow {
             campaign: "fig5-arm",
             bench: bench.name().to_string(),
@@ -934,8 +966,25 @@ pub fn fig5_arm_fence_attribution(cfg: ExpConfig, exec: &dyn Executor) -> Attrib
             rel_perf: cmp.ratio,
             fence_execs: execs,
             observed_ns: spec.ns(stall) / execs as f64,
-            eq2_ns: estimate_cost(fit.k, cmp.ratio),
+            eq2_ns,
         });
+        // The per-site decomposition of the same observed cost: each
+        // site's own stall cycles per execution (the sb-drain surcharge
+        // above is a whole-run differential and has no per-site split).
+        for (site, sp) in &test_b.profile.sites {
+            if sp.fences == 0 {
+                continue;
+            }
+            report.site_rows.push(SiteCostRow {
+                campaign: "fig5-arm",
+                bench: bench.name().to_string(),
+                site: site.clone(),
+                fence: FenceKind::DmbIsh.mnemonic(),
+                fences: sp.fences,
+                observed_ns: spec.ns(sp.fence_cycles) / sp.fences as f64,
+                eq2_ns,
+            });
+        }
         report
             .fits
             .push((format!("fig5-arm/{}", bench.name()), fit));

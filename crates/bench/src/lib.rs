@@ -21,10 +21,13 @@
 //! | litmus matrix | `wmm_litmus::suite::run_full_suite` | `litmus_matrix` |
 //! | fence audit | `wmm_analyze::analyze` + Eq. 1 pricing | `fence_lint` |
 //! | fence synthesis | `wmm_analyze::synthesize` + dual validation | `fence_synth` |
+//! | per-site profiles | [`profiling::profile_campaign`] | `wmm_profile` |
+//! | cross-JIT site diff | [`profiling`] + `wmm_obs::Profile::diff` | `wmm_tracediff` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod profiling;
 
 pub use experiments::*;

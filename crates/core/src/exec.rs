@@ -47,6 +47,12 @@ pub struct SimJob<'a> {
     pub ctx: WorkloadCtx,
     /// Sample seed.
     pub seed: u64,
+    /// Collect per-site stall attribution (`Machine::run_sited`). Sited
+    /// runs produce identical wall times and counters to unsited ones, but
+    /// their [`ExecStats`] additionally carries the per-site stall map —
+    /// caching executors must treat them as always-miss so the stats are
+    /// guaranteed present.
+    pub sited: bool,
 }
 
 impl SimJob<'_> {
@@ -58,7 +64,11 @@ impl SimJob<'_> {
     /// Run this job to completion, returning the full execution statistics
     /// (wall time, per-core cycles, event counters, fence stall cycles).
     pub fn run_stats(&self) -> ExecStats {
-        self.machine.run(&self.program, &self.ctx, self.seed)
+        if self.sited {
+            self.machine.run_sited(&self.program, &self.ctx, self.seed)
+        } else {
+            self.machine.run(&self.program, &self.ctx, self.seed)
+        }
     }
 }
 
@@ -136,6 +146,7 @@ mod tests {
             program: Program::new(vec![vec![Instr::Compute { cycles }]]),
             ctx: ctx.clone(),
             seed,
+            sited: false,
         };
         let jobs = vec![mk(100, 1), mk(5_000, 2), mk(700, 3)];
         let direct: Vec<f64> = jobs.iter().map(SimJob::run).collect();
@@ -156,6 +167,7 @@ mod tests {
             ]]),
             ctx: WorkloadCtx::default(),
             seed: 9,
+            sited: false,
         };
         let outcomes = SerialExecutor.run_batch_stats(vec![job]);
         assert_eq!(outcomes.len(), 1);

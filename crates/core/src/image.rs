@@ -14,7 +14,7 @@
 use std::collections::HashMap;
 use std::hash::Hash;
 
-use wmm_sim::isa::{pad_to, seq_size, Instr};
+use wmm_sim::isa::{pad_to, seq_size, AccessOrd, Instr};
 use wmm_sim::machine::{Program, WorkloadCtx};
 
 use crate::costfn::CostFunction;
@@ -26,6 +26,15 @@ use crate::strategy::FencingStrategy;
 pub enum Segment<P> {
     /// Literal instructions (application/platform code).
     Code(Vec<Instr>),
+    /// Literal instructions carrying an observability label. Linked exactly
+    /// like [`Segment::Code`] — no strategy lowering, no padding — but
+    /// [`SiteRewriter::link_sited`] names them `t{t}:{label}#{occ}` instead
+    /// of pooling them into `t{t}:code`. Platforms use this to tag accesses
+    /// whose cost moves *between* segments across strategy variants (e.g. a
+    /// volatile access that is a plain load under a barrier JIT but an
+    /// acquire load under `ldar`/`stlr` lowering), so per-site profiles of
+    /// the two variants join on the same row.
+    Labeled(&'static str, Vec<Instr>),
     /// A code path where the fencing strategy is implemented.
     Site(P),
 }
@@ -45,7 +54,7 @@ pub fn flatten_streams<P>(
             let mut out = Vec::new();
             for seg in segs {
                 match seg {
-                    Segment::Code(is) => out.extend(is.iter().copied()),
+                    Segment::Code(is) | Segment::Labeled(_, is) => out.extend(is.iter().copied()),
                     Segment::Site(p) => out.extend(strategy.lower(p)),
                 }
             }
@@ -201,7 +210,9 @@ impl<'a, P: Clone + Eq + Hash> SiteRewriter<'a, P> {
                 let mut out = Vec::new();
                 for seg in segs {
                     match seg {
-                        Segment::Code(instrs) => out.extend_from_slice(instrs),
+                        Segment::Code(instrs) | Segment::Labeled(_, instrs) => {
+                            out.extend_from_slice(instrs)
+                        }
                         Segment::Site(p) => out.extend(self.lower_site(p)),
                     }
                 }
@@ -209,6 +220,129 @@ impl<'a, P: Clone + Eq + Hash> SiteRewriter<'a, P> {
             })
             .collect();
         Program::new(threads)
+    }
+
+    /// Like [`SiteRewriter::link`], but also produce a [`SiteMap`] that
+    /// names every linked instruction after the image segment it came from.
+    /// The program is identical to what `link` returns; the map is what lets
+    /// the observability layer fold per-`(thread, index)` stall records into
+    /// profiles keyed by stable, human-readable site names.
+    pub fn link_sited(&self, image: &Image<P>) -> (Program, SiteMap)
+    where
+        P: std::fmt::Debug,
+    {
+        let mut names: Vec<String> = Vec::new();
+        let mut ids: HashMap<String, u32> = HashMap::new();
+        let mut intern = |names: &mut Vec<String>, name: String| -> u32 {
+            if let Some(&id) = ids.get(&name) {
+                return id;
+            }
+            let id = names.len() as u32;
+            ids.insert(name.clone(), id);
+            names.push(name);
+            id
+        };
+        let mut threads = Vec::with_capacity(image.threads.len());
+        let mut map_threads = Vec::with_capacity(image.threads.len());
+        for (t, segs) in image.threads.iter().enumerate() {
+            let mut out = Vec::new();
+            let mut map = Vec::new();
+            let mut occ: HashMap<String, u64> = HashMap::new();
+            for seg in segs {
+                match seg {
+                    Segment::Code(instrs) => {
+                        // Ordered accesses are observation-worthy sites in
+                        // their own right: a JIT that lowers volatiles to
+                        // `ldar`/`stlr` emits no barrier segment, yet those
+                        // accesses are exactly where the volatile cost
+                        // moved. Name them individually; pool the rest.
+                        for instr in instrs {
+                            let label = match instr {
+                                Instr::Load {
+                                    ord: AccessOrd::Acquire,
+                                    ..
+                                } => Some("acq"),
+                                Instr::Store {
+                                    ord: AccessOrd::Release,
+                                    ..
+                                } => Some("rel"),
+                                _ => None,
+                            };
+                            let id = match label {
+                                Some(l) => {
+                                    let n = occ.entry(l.to_string()).or_insert(0);
+                                    let id = intern(&mut names, format!("t{t}:{l}#{n}"));
+                                    *n += 1;
+                                    id
+                                }
+                                None => intern(&mut names, format!("t{t}:code")),
+                            };
+                            out.push(*instr);
+                            map.push(id);
+                        }
+                    }
+                    Segment::Labeled(label, instrs) => {
+                        let n = occ.entry((*label).to_string()).or_insert(0);
+                        let id = intern(&mut names, format!("t{t}:{label}#{n}"));
+                        *n += 1;
+                        map.extend(std::iter::repeat_n(id, instrs.len()));
+                        out.extend_from_slice(instrs);
+                    }
+                    Segment::Site(p) => {
+                        let label = format!("{p:?}");
+                        let n = occ.entry(label.clone()).or_insert(0);
+                        let id = intern(&mut names, format!("t{t}:{label}#{n}"));
+                        *n += 1;
+                        let seq = self.lower_site(p);
+                        map.extend(std::iter::repeat_n(id, seq.len()));
+                        out.extend(seq);
+                    }
+                }
+            }
+            threads.push(out);
+            map_threads.push(map);
+        }
+        (
+            Program::new(threads),
+            SiteMap {
+                names,
+                threads: map_threads,
+            },
+        )
+    }
+}
+
+/// Maps every linked instruction back to the image segment it came from, by
+/// interned name. Site instructions are named `t{thread}:{path:?}#{occ}`
+/// (`occ` counts occurrences of the same path within the thread, in stream
+/// order); [`Segment::Labeled`] code is named `t{thread}:{label}#{occ}` the
+/// same way; ordered accesses inside unlabeled literal code — `ldar`/`stlr`
+/// stand-ins a platform did not tag — get fallback `t{thread}:acq#{occ}` /
+/// `t{thread}:rel#{occ}` names; the remaining literal platform code is
+/// pooled under `t{thread}:code`. Names are a function of the *image* and
+/// thread layout only — not of the strategy, injection, or seed — so
+/// profiles from different variants of the same image join site-by-site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteMap {
+    names: Vec<String>,
+    threads: Vec<Vec<u32>>,
+}
+
+impl SiteMap {
+    /// The name of instruction `index` of `thread`, if in range.
+    pub fn name(&self, thread: usize, index: usize) -> Option<&str> {
+        let id = *self.threads.get(thread)?.get(index)?;
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// All interned names, in first-appearance order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Whether `name` denotes pooled literal code rather than a site.
+    pub fn is_code(name: &str) -> bool {
+        name.ends_with(":code")
     }
 }
 
@@ -350,6 +484,32 @@ mod tests {
         let site = rw.lower_site(&Path::Enter);
         let nops = site.iter().filter(|i| matches!(i, Instr::Nop)).count();
         assert_eq!(nops as u64, cf.size());
+    }
+
+    #[test]
+    fn link_sited_matches_link_and_names_every_instruction() {
+        let img = image();
+        let (a, _) = strategies();
+        let env = compute_envelope(&img.paths(), &[&a], 0);
+        let rw = SiteRewriter::new(&a, Injection::None, env);
+        let plain = rw.link(&img);
+        let (sited, map) = rw.link_sited(&img);
+        assert_eq!(plain.threads, sited.threads);
+        // Every instruction of every thread has a name...
+        for (t, stream) in sited.threads.iter().enumerate() {
+            for i in 0..stream.len() {
+                assert!(map.name(t, i).is_some(), "unnamed instr t{t}:{i}");
+            }
+            assert!(map.name(t, stream.len()).is_none());
+        }
+        // ...and repeated sites of the same path get distinct names.
+        let names = map.names();
+        assert!(names.contains(&"t0:code".to_string()));
+        assert!(names.contains(&"t0:Enter#0".to_string()));
+        assert!(names.contains(&"t0:Enter#1".to_string()));
+        assert!(names.contains(&"t0:Exit#0".to_string()));
+        assert!(SiteMap::is_code("t0:code"));
+        assert!(!SiteMap::is_code("t0:Enter#0"));
     }
 
     #[test]

@@ -46,8 +46,8 @@ pub mod strategy;
 pub mod turnkey;
 
 pub use costfn::{Calibration, CostFunction};
-pub use exec::{Executor, SerialExecutor, SimJob};
-pub use image::{flatten_streams, Image, Segment, SiteRewriter};
+pub use exec::{Executor, JobOutcome, SerialExecutor, SimJob};
+pub use image::{flatten_streams, Image, Segment, SiteMap, SiteRewriter};
 pub use json::{Json, ToJson};
 pub use model::{estimate_cost, predicted_performance, SensitivityFit};
 pub use runner::{

@@ -12,7 +12,7 @@ use wmm_sim::Machine;
 use wmm_stats::{confidence_interval, Comparison, ConfidenceInterval, Summary};
 
 use crate::exec::{Executor, SerialExecutor, SimJob};
-use crate::image::{Image, SiteRewriter};
+use crate::image::{Image, SiteMap, SiteRewriter};
 
 /// A benchmark: a black box producing a program image per sample seed.
 ///
@@ -111,9 +111,40 @@ pub fn measurement_jobs<'m, P: Clone + Eq + Hash>(
             program,
             ctx: image.ctx,
             seed,
+            sited: false,
         });
     }
     (jobs, work_units)
+}
+
+/// Like [`measurement_jobs`], but the jobs collect per-site stall
+/// attribution and each job is paired (by index) with the [`SiteMap`] of
+/// the image it was linked from — images can vary with the sample seed, so
+/// profile folds join records by site *name*, not raw index.
+pub fn measurement_jobs_sited<'m, P: Clone + Eq + Hash + std::fmt::Debug>(
+    machine: &'m Machine,
+    bench: &dyn BenchSpec<P>,
+    rewriter: &SiteRewriter<'_, P>,
+    cfg: RunConfig,
+) -> (Vec<SimJob<'m>>, Vec<SiteMap>, f64) {
+    let mut jobs = Vec::with_capacity(cfg.warmups + cfg.samples);
+    let mut maps = Vec::with_capacity(cfg.warmups + cfg.samples);
+    let mut work_units = 1.0;
+    for i in 0..(cfg.warmups + cfg.samples) {
+        let seed = cfg.base_seed.wrapping_add(i as u64);
+        let image = bench.image(seed);
+        work_units = image.work_units;
+        let (program, map) = rewriter.link_sited(&image);
+        jobs.push(SimJob {
+            machine,
+            program,
+            ctx: image.ctx,
+            seed,
+            sited: true,
+        });
+        maps.push(map);
+    }
+    (jobs, maps, work_units)
 }
 
 /// Assemble a [`Measurement`] from batch results (drops warm-ups).

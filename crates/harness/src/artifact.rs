@@ -30,7 +30,11 @@ use wmmbench::model::SensitivityFit;
 ///
 /// v2: `telemetry` split into deterministic counters (`sim`, aggregated
 /// `ExecStats`) and observational `timing`.
-pub const SCHEMA_VERSION: u64 = 2;
+///
+/// v3: `telemetry` gains an optional `sites` array — per-site stall
+/// profiles keyed by stable site name, produced by campaigns that run
+/// sited (`wmm_profile`, `wmm_tracediff`). Absent for ordinary campaigns.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// One scalar measurement cell (e.g. a sweep point's relative performance,
 /// a ranking-matrix entry), identified by a stable label.
@@ -152,6 +156,51 @@ impl ToJson for SimTotals {
     }
 }
 
+/// One site's stall profile, aggregated over every sited sample of a
+/// campaign and keyed by the stable site name the image's `SiteMap`
+/// assigned (`t{thread}:{path}#{occ}`, or `t{thread}:code` for pooled
+/// literal code).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteRecord {
+    /// Stable site name.
+    pub name: String,
+    /// Fence kind executed at the site, if any.
+    pub fence: Option<FenceKind>,
+    /// Fence executions summed over samples.
+    pub fences: u64,
+    /// Cycles stalled in fences, summed over samples.
+    pub fence_cycles: f64,
+    /// Store-buffer capacity-stall cycles, summed over samples.
+    pub sb_stall_cycles: f64,
+    /// Exposed memory-access cycles, summed over samples.
+    pub mem_cycles: f64,
+    /// Total cycles the site advanced its core's clock by, summed over
+    /// samples.
+    pub total_cycles: f64,
+}
+
+impl SiteRecord {
+    /// Cycles not attributed to fence, store-buffer or memory stalls.
+    pub fn compute_cycles(&self) -> f64 {
+        (self.total_cycles - self.fence_cycles - self.sb_stall_cycles - self.mem_cycles).max(0.0)
+    }
+}
+
+impl ToJson for SiteRecord {
+    fn to_json(&self) -> Json {
+        let mut pairs = vec![("name", self.name.to_json())];
+        if let Some(k) = self.fence {
+            pairs.push(("fence", k.mnemonic().to_json()));
+        }
+        pairs.push(("fences", self.fences.to_json()));
+        pairs.push(("fence_cycles", Json::Num(self.fence_cycles)));
+        pairs.push(("sb_stall_cycles", Json::Num(self.sb_stall_cycles)));
+        pairs.push(("mem_cycles", Json::Num(self.mem_cycles)));
+        pairs.push(("total_cycles", Json::Num(self.total_cycles)));
+        Json::obj(pairs)
+    }
+}
+
 /// Observational run timings — the only telemetry that legitimately varies
 /// between runs of the same campaign.
 #[derive(Debug, Default, Clone, PartialEq)]
@@ -195,6 +244,10 @@ pub struct Telemetry {
     pub cache_misses: u64,
     /// Aggregated simulator ground truth over the simulated jobs.
     pub sim: SimTotals,
+    /// Per-site stall profiles, for campaigns that ran sited. Sorted by
+    /// site name; deterministic (sited jobs always simulate, so the fold
+    /// covers the same samples regardless of cache state).
+    pub sites: Option<Vec<SiteRecord>>,
     /// Observational timings (excluded from determinism comparisons).
     pub timing: Timing,
 }
@@ -212,13 +265,20 @@ impl Telemetry {
     /// The deterministic portion: everything except `timing`. Identical
     /// across worker counts for a given cache state.
     pub fn deterministic_json(&self) -> Json {
-        Json::obj(vec![
-            ("batches", self.batches.to_json()),
-            ("jobs", self.jobs.to_json()),
-            ("cache_hits", self.cache_hits.to_json()),
-            ("cache_misses", self.cache_misses.to_json()),
-            ("sim", self.sim.to_json()),
-        ])
+        let mut pairs = vec![
+            ("batches".to_string(), self.batches.to_json()),
+            ("jobs".to_string(), self.jobs.to_json()),
+            ("cache_hits".to_string(), self.cache_hits.to_json()),
+            ("cache_misses".to_string(), self.cache_misses.to_json()),
+            ("sim".to_string(), self.sim.to_json()),
+        ];
+        if let Some(sites) = &self.sites {
+            pairs.push((
+                "sites".to_string(),
+                Json::Arr(sites.iter().map(ToJson::to_json).collect()),
+            ));
+        }
+        Json::Obj(pairs)
     }
 }
 
@@ -459,6 +519,35 @@ fn telemetry_from_json(t: &Json) -> Result<Telemetry, String> {
             }
         }
     }
+    let sites = match t.get("sites").and_then(Json::as_arr) {
+        None => None,
+        Some(entries) => {
+            let mut sites = Vec::with_capacity(entries.len());
+            for entry in entries {
+                let name = entry
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("site record missing name")?
+                    .to_string();
+                let fence = match entry.get("fence").and_then(Json::as_str) {
+                    None => None,
+                    Some(m) => Some(
+                        FenceKind::from_mnemonic(m).ok_or("unknown fence kind in site record")?,
+                    ),
+                };
+                sites.push(SiteRecord {
+                    name,
+                    fence,
+                    fences: u(entry, "fences"),
+                    fence_cycles: f(entry, "fence_cycles"),
+                    sb_stall_cycles: f(entry, "sb_stall_cycles"),
+                    mem_cycles: f(entry, "mem_cycles"),
+                    total_cycles: f(entry, "total_cycles"),
+                });
+            }
+            Some(sites)
+        }
+    };
     let timing = match t.get("timing") {
         None => Timing::default(),
         Some(w) => Timing {
@@ -475,6 +564,7 @@ fn telemetry_from_json(t: &Json) -> Result<Telemetry, String> {
         cache_hits: u(t, "cache_hits"),
         cache_misses: u(t, "cache_misses"),
         sim,
+        sites,
         timing,
     })
 }
@@ -516,6 +606,7 @@ mod tests {
             counters,
             sb_stall_cycles: 3.5,
             sb_stalls: 2,
+            per_site: None,
         });
         totals
     }
@@ -583,6 +674,7 @@ mod tests {
             cache_hits: 8,
             cache_misses: 32,
             sim: sample_totals(),
+            sites: None,
             timing: Timing {
                 threads: 4,
                 sim_ms: 10.5,
@@ -617,11 +709,57 @@ mod tests {
         )
         .unwrap();
         assert!(RunManifest::from_json(&json).unwrap_err().contains("99"));
-        // v1 manifests (the pre-telemetry layout) are also rejected: the
-        // baselines were refreshed when the schema was bumped.
-        let json =
-            Json::parse(r#"{"schema_version":1,"campaign":"x","arch":"arm","cells":[],"fits":[]}"#)
-                .unwrap();
-        assert!(RunManifest::from_json(&json).is_err());
+        // v1 (pre-telemetry) and v2 (pre-sites) manifests are also
+        // rejected: the baselines were refreshed when the schema was
+        // bumped.
+        for version in [1, 2] {
+            let json = Json::parse(&format!(
+                r#"{{"schema_version":{version},"campaign":"x","arch":"arm","cells":[],"fits":[]}}"#
+            ))
+            .unwrap();
+            assert!(RunManifest::from_json(&json).is_err(), "v{version}");
+        }
+    }
+
+    #[test]
+    fn site_records_roundtrip_and_expose_compute_cycles() {
+        let dir = std::env::temp_dir().join("wmm-harness-artifact-sites-test");
+        let mut m = sample();
+        m.campaign = "sited_test".to_string();
+        let sites = vec![
+            SiteRecord {
+                name: "t0:VolatileStore#0".to_string(),
+                fence: Some(FenceKind::DmbIsh),
+                fences: 12,
+                fence_cycles: 226.8,
+                sb_stall_cycles: 4.5,
+                mem_cycles: 30.25,
+                total_cycles: 300.0,
+            },
+            SiteRecord {
+                name: "t0:code".to_string(),
+                fence: None,
+                fences: 0,
+                fence_cycles: 0.0,
+                sb_stall_cycles: 0.0,
+                mem_cycles: 96.0,
+                total_cycles: 1024.0,
+            },
+        ];
+        assert_eq!(sites[0].compute_cycles(), 300.0 - 226.8 - 4.5 - 30.25);
+        m.telemetry = Some(Telemetry {
+            jobs: 4,
+            cache_misses: 4,
+            sim: sample_totals(),
+            sites: Some(sites),
+            ..Telemetry::default()
+        });
+        let path = m.write(&dir).unwrap();
+        let back = RunManifest::load(&path).unwrap();
+        assert_eq!(back, m);
+        // Sites are deterministic content: present in the deterministic
+        // projection, so the threads-1-vs-N comparisons cover them.
+        assert!(m.deterministic_json().to_string().contains("VolatileStore"));
+        let _ = std::fs::remove_file(&path);
     }
 }

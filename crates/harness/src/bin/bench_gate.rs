@@ -70,6 +70,15 @@ fn main() -> ExitCode {
         for failure in &report.failures {
             eprintln!("  - {failure}");
         }
+        // Structured per-cell diff of every drifted value (structural
+        // failures — missing/duplicate labels — appear above only).
+        let table = report.diff_table();
+        if !table.is_empty() {
+            eprintln!();
+            for line in table.lines() {
+                eprintln!("  {line}");
+            }
+        }
         ExitCode::FAILURE
     }
 }

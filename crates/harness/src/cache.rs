@@ -317,6 +317,7 @@ mod tests {
             program: Program::new(vec![vec![Instr::Compute { cycles }]]),
             ctx: WorkloadCtx::default(),
             seed,
+            sited: false,
         }
     }
 
@@ -340,6 +341,7 @@ mod tests {
             program: Program::new(vec![vec![instr]]),
             ctx: WorkloadCtx::default(),
             seed: 0,
+            sited: false,
         };
         let keys: Vec<u128> = [
             Instr::Nop,

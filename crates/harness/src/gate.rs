@@ -41,11 +41,33 @@ impl Default for GateConfig {
     }
 }
 
+/// One out-of-tolerance value comparison, structured so callers can print
+/// a full per-cell diff table instead of only the first offending entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mismatch {
+    /// What kind of value drifted (`"fit k"` or `"cell"`).
+    pub kind: &'static str,
+    /// The label joining baseline and current.
+    pub label: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Absolute delta `current - baseline`.
+    pub abs_delta: f64,
+    /// Relative drift `|current - baseline| / max(|baseline|, eps)`.
+    pub rel_delta: f64,
+}
+
 /// The gate verdict: every out-of-tolerance or structural difference found.
 #[derive(Debug, Clone, Default)]
 pub struct GateReport {
     /// Human-readable failure descriptions; empty means the gate passes.
     pub failures: Vec<String>,
+    /// The value comparisons that drifted out of tolerance, in manifest
+    /// order — the structured counterpart of the drift entries in
+    /// `failures` (structural failures have no mismatch record).
+    pub mismatches: Vec<Mismatch>,
     /// Number of values compared.
     pub checked: usize,
 }
@@ -54,6 +76,37 @@ impl GateReport {
     /// Whether the manifest is within tolerance of the baseline.
     pub fn pass(&self) -> bool {
         self.failures.is_empty()
+    }
+
+    /// A compact aligned diff table of every drifted value, one row per
+    /// mismatch; empty string when no values drifted.
+    pub fn diff_table(&self) -> String {
+        if self.mismatches.is_empty() {
+            return String::new();
+        }
+        let label_w = self
+            .mismatches
+            .iter()
+            .map(|m| m.label.len())
+            .max()
+            .unwrap_or(0)
+            .max("label".len());
+        let mut out = format!(
+            "{:<6} {:<label_w$} {:>13} {:>13} {:>13} {:>9}\n",
+            "kind", "label", "baseline", "current", "abs delta", "rel"
+        );
+        for m in &self.mismatches {
+            out.push_str(&format!(
+                "{:<6} {:<label_w$} {:>13.6e} {:>13.6e} {:>+13.6e} {:>8.2}%\n",
+                m.kind.replace(' ', "-"),
+                m.label,
+                m.baseline,
+                m.current,
+                m.abs_delta,
+                100.0 * m.rel_delta,
+            ));
+        }
+        out
     }
 }
 
@@ -64,7 +117,16 @@ fn rel_drift(old: f64, new: f64) -> f64 {
 /// Compare one labelled value pair, appending a failure when the drift is
 /// out of tolerance or any quantity involved is non-finite (NaN compares
 /// false against every tolerance, so it must be rejected explicitly).
-fn check_value(kind: &str, label: &str, old: f64, new: f64, tol: f64, failures: &mut Vec<String>) {
+/// Out-of-tolerance drifts also append a structured [`Mismatch`].
+fn check_value(
+    kind: &'static str,
+    label: &str,
+    old: f64,
+    new: f64,
+    tol: f64,
+    failures: &mut Vec<String>,
+    mismatches: &mut Vec<Mismatch>,
+) {
     let drift = rel_drift(old, new);
     if !old.is_finite() || !new.is_finite() || !drift.is_finite() {
         failures.push(format!(
@@ -80,6 +142,14 @@ fn check_value(kind: &str, label: &str, old: f64, new: f64, tol: f64, failures: 
             new,
             100.0 * tol
         ));
+        mismatches.push(Mismatch {
+            kind,
+            label: label.to_string(),
+            baseline: old,
+            current: new,
+            abs_delta: new - old,
+            rel_delta: drift,
+        });
     }
 }
 
@@ -108,7 +178,11 @@ fn index_by_label<'a, T>(
 /// Compare `current` against `baseline` under `cfg`.
 pub fn compare(baseline: &RunManifest, current: &RunManifest, cfg: GateConfig) -> GateReport {
     let mut report = GateReport::default();
-    let failures = &mut report.failures;
+    let GateReport {
+        failures,
+        mismatches,
+        ..
+    } = &mut report;
 
     if baseline.campaign != current.campaign {
         failures.push(format!(
@@ -136,7 +210,15 @@ pub fn compare(baseline: &RunManifest, current: &RunManifest, cfg: GateConfig) -
             None => failures.push(format!("fit `{}` missing from current run", bf.label)),
             Some(cf) => {
                 checked += 1;
-                check_value("fit k", &bf.label, bf.k, cf.k, cfg.k_rel_tol, failures);
+                check_value(
+                    "fit k",
+                    &bf.label,
+                    bf.k,
+                    cf.k,
+                    cfg.k_rel_tol,
+                    failures,
+                    mismatches,
+                );
             }
         }
     }
@@ -152,6 +234,7 @@ pub fn compare(baseline: &RunManifest, current: &RunManifest, cfg: GateConfig) -
                     cc.value,
                     cfg.cell_rel_tol,
                     failures,
+                    mismatches,
                 );
             }
         }
@@ -303,6 +386,33 @@ mod tests {
             "{:?}",
             r.failures
         );
+    }
+
+    #[test]
+    fn mismatches_record_every_drifted_cell_with_deltas() {
+        let mut baseline = manifest(0.01, 0.9);
+        baseline.push_cell("spark/a=32", 0.8);
+        let mut current = manifest(0.02, 0.7);
+        current.push_cell("spark/a=32", 0.8); // within tolerance
+        let r = compare(&baseline, &current, GateConfig::default());
+        assert!(!r.pass());
+        assert_eq!(r.mismatches.len(), 2, "{:?}", r.mismatches);
+        let k = &r.mismatches[0];
+        assert_eq!((k.kind, k.label.as_str()), ("fit k", "spark"));
+        assert_eq!(k.abs_delta, 0.02 - 0.01);
+        assert!((k.rel_delta - 1.0).abs() < 1e-12);
+        let c = &r.mismatches[1];
+        assert_eq!((c.kind, c.label.as_str()), ("cell", "spark/a=16"));
+        assert!(c.abs_delta < 0.0);
+        // The diff table renders one aligned row per mismatch.
+        let table = r.diff_table();
+        assert_eq!(table.lines().count(), 3, "{table}");
+        assert!(table.contains("spark/a=16"));
+        assert!(!table.contains("spark/a=32"));
+        // A passing gate renders nothing.
+        let clean = compare(&baseline, &baseline, GateConfig::default());
+        assert!(clean.diff_table().is_empty());
+        assert!(clean.mismatches.is_empty());
     }
 
     #[test]

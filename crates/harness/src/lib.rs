@@ -39,9 +39,9 @@ pub mod scheduler;
 pub mod trace;
 
 pub use artifact::{
-    CellRecord, FitRecord, RunManifest, SimTotals, Telemetry, Timing, SCHEMA_VERSION,
+    CellRecord, FitRecord, RunManifest, SimTotals, SiteRecord, Telemetry, Timing, SCHEMA_VERSION,
 };
 pub use cache::{job_key, SimCache};
-pub use gate::{compare, GateConfig, GateReport};
+pub use gate::{compare, GateConfig, GateReport, Mismatch};
 pub use scheduler::{resolve_threads, run_keyed, run_keyed_indexed, ParallelExecutor};
-pub use trace::{write_chrome_trace, TraceEvent};
+pub use trace::{instruction_trace_events, write_chrome_trace, TraceEvent};

@@ -184,6 +184,7 @@ impl ParallelExecutor {
             cache_hits: hits,
             cache_misses: misses,
             sim: self.sim_totals.lock().expect("totals poisoned").clone(),
+            sites: None,
             timing: Timing {
                 threads: self.threads,
                 sim_ms: self.counters.sim_ns.load(Ordering::Relaxed) as f64 / 1e6,
@@ -235,6 +236,14 @@ impl Executor for ParallelExecutor {
                 .enumerate()
                 .map(|(i, job)| {
                     let key = job_key(job);
+                    // Sited jobs must surface their per-site stall map, which
+                    // the wall-time-only cache cannot answer — always
+                    // simulate them (their wall times are identical, so the
+                    // result is still stored for non-sited consumers).
+                    if job.sited {
+                        misses.push(i);
+                        return key;
+                    }
                     match cache.get(key) {
                         Some(t) => outcomes[i] = Some(JobOutcome::cached(t)),
                         None => misses.push(i),
@@ -344,6 +353,7 @@ mod tests {
                 ]]),
                 ctx: WorkloadCtx::default(),
                 seed: i as u64,
+                sited: false,
             })
             .collect()
     }

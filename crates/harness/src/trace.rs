@@ -12,9 +12,11 @@
 //! run — so they live outside the manifest/gate path entirely: a campaign
 //! only writes one when asked to via `--trace <path>`.
 
+use std::collections::HashMap;
 use std::io;
 use std::path::Path;
 
+use wmm_sim::stats::SiteStall;
 use wmmbench::json::{Json, ToJson};
 
 /// One complete slice on the trace timeline.
@@ -44,6 +46,41 @@ impl ToJson for TraceEvent {
             ("tid", self.tid.to_json()),
         ])
     }
+}
+
+/// Convert one sited run's per-site stall records into an
+/// instruction-granular timeline: one complete slice per executed
+/// instruction, on one track per simulated thread (`tid = thread`).
+///
+/// A [`SiteStall`] carries no timestamps, but a thread executes its
+/// instructions strictly in stream order and each advances the core's
+/// clock by exactly `total_cycles`, so slice starts are the per-thread
+/// cumulative sums — an exact reconstruction of the simulated timeline.
+/// `label` renders each `(thread, index)` site's name (e.g. through a
+/// `SiteMap`); `ns_per_cycle` converts the architecture's clock to trace
+/// time. The records must be sorted by `(thread, index)`, which is how
+/// `Machine::run_sited` returns them.
+pub fn instruction_trace_events(
+    sites: &[SiteStall],
+    ns_per_cycle: f64,
+    mut label: impl FnMut(u32, u32) -> String,
+) -> Vec<TraceEvent> {
+    let mut cursor: HashMap<u32, f64> = HashMap::new();
+    sites
+        .iter()
+        .map(|s| {
+            let start = cursor.entry(s.thread).or_insert(0.0);
+            let ts_us = *start * ns_per_cycle / 1e3;
+            *start += s.total_cycles;
+            TraceEvent {
+                name: label(s.thread, s.index),
+                cat: "instr",
+                ts_us,
+                dur_us: s.total_cycles * ns_per_cycle / 1e3,
+                tid: s.thread as u64,
+            }
+        })
+        .collect()
 }
 
 /// Serialise events to a Trace Event Format JSON document.
@@ -106,6 +143,58 @@ mod tests {
         assert_eq!(first.get("pid").and_then(Json::as_f64), Some(1.0));
         assert_eq!(first.get("dur").and_then(Json::as_f64), Some(1500.25));
         assert_eq!(arr[1].get("tid").and_then(Json::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn names_with_quotes_and_backslashes_stay_valid_json() {
+        // Regression guard: labels flow from user-visible site names, which
+        // can contain characters JSON must escape. The export routes every
+        // string through the `Json` layer, so the document stays parseable
+        // and the name round-trips exactly.
+        let hostile = "site \"q\" \\ back\nline\ttab";
+        let events = vec![TraceEvent {
+            name: hostile.to_string(),
+            cat: "job",
+            ts_us: 0.0,
+            dur_us: 1.0,
+            tid: 1,
+        }];
+        let text = to_chrome_json(&events);
+        let json = Json::parse(&text).expect("escaped output parses");
+        let arr = json.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr[0].get("name").and_then(Json::as_str), Some(hostile));
+    }
+
+    #[test]
+    fn instruction_trace_reconstructs_per_thread_timeline() {
+        let site = |thread: u32, index: u32, total: f64| SiteStall {
+            thread,
+            index,
+            fence: None,
+            fences: 0,
+            fence_cycles: 0.0,
+            sb_stall_cycles: 0.0,
+            mem_cycles: 0.0,
+            total_cycles: total,
+        };
+        let sites = vec![
+            site(0, 0, 10.0),
+            site(0, 1, 4.0),
+            site(1, 0, 2.5),
+            site(1, 1, 1.5),
+        ];
+        // 0.5 ns/cycle: slice starts are per-thread cumulative cycles.
+        let events = instruction_trace_events(&sites, 0.5, |t, i| format!("t{t}:i{i}"));
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].ts_us, 0.0);
+        assert_eq!(events[1].ts_us, 10.0 * 0.5 / 1e3);
+        assert_eq!(events[1].dur_us, 4.0 * 0.5 / 1e3);
+        // Thread 1 starts its own track at zero.
+        assert_eq!(events[2].ts_us, 0.0);
+        assert_eq!(events[3].ts_us, 2.5 * 0.5 / 1e3);
+        assert_eq!(events[2].tid, 1);
+        assert_eq!(events[0].name, "t0:i0");
+        assert!(events.iter().all(|e| e.cat == "instr"));
     }
 
     #[test]

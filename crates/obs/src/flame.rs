@@ -1,0 +1,85 @@
+//! Collapsed-stack (flamegraph) export of a [`Profile`].
+//!
+//! Emits the classic two-level `folded` format — one `stack count` line
+//! per (site, cause) pair — that `flamegraph.pl` and every compatible
+//! viewer consume directly:
+//!
+//! ```text
+//! t0:VolatileStore#0;fence:dmb ish 227
+//! t0:VolatileStore#0;mem 30
+//! t0:code;compute 891
+//! ```
+//!
+//! Counts are cycles rounded to integers (the folded format is integral);
+//! zero-cycle causes are omitted. Lines are in deterministic (site, cause)
+//! order because [`Profile`] iterates name-ordered.
+
+use crate::profile::Profile;
+
+/// The fixed cause order within a site's lines.
+const CAUSES: [&str; 4] = ["fence", "sb", "mem", "compute"];
+
+/// Render `profile` as collapsed-stack lines (`site;cause cycles`).
+pub fn collapsed_stacks(profile: &Profile) -> String {
+    let mut out = String::new();
+    for (name, sp) in &profile.sites {
+        let fence_label = sp
+            .fence
+            .map(|k| format!("fence:{}", k.mnemonic()))
+            .unwrap_or_else(|| "fence".to_string());
+        for cause in CAUSES {
+            let (label, cycles) = match cause {
+                "fence" => (fence_label.clone(), sp.fence_cycles),
+                "sb" => ("sb".to_string(), sp.sb_stall_cycles),
+                "mem" => ("mem".to_string(), sp.mem_cycles),
+                _ => ("compute".to_string(), sp.compute_cycles()),
+            };
+            let count = cycles.round() as u64;
+            if count > 0 {
+                out.push_str(&format!("{name};{label} {count}\n"));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmm_sim::stats::SiteStall;
+    use wmm_sim::FenceKind;
+
+    #[test]
+    fn folded_lines_cover_causes_and_skip_zeros() {
+        let mut p = Profile::new();
+        p.sites
+            .entry("t0:Enter#0".to_string())
+            .or_default()
+            .add(&SiteStall {
+                thread: 0,
+                index: 2,
+                fence: Some(FenceKind::DmbIsh),
+                fences: 1,
+                fence_cycles: 12.4,
+                sb_stall_cycles: 0.0,
+                mem_cycles: 3.0,
+                total_cycles: 20.0,
+            });
+        let text = collapsed_stacks(&p);
+        assert!(text.contains("t0:Enter#0;fence:dmb ish 12\n"), "{text}");
+        assert!(text.contains("t0:Enter#0;mem 3\n"));
+        assert!(text.contains("t0:Enter#0;compute 5\n"));
+        assert!(!text.contains(";sb "), "zero causes omitted: {text}");
+        // Every line is `stack count` with an integral count.
+        for line in text.lines() {
+            let (stack, count) = line.rsplit_once(' ').expect("folded line shape");
+            assert!(stack.contains(';'));
+            count.parse::<u64>().expect("integral count");
+        }
+    }
+
+    #[test]
+    fn empty_profile_renders_nothing() {
+        assert!(collapsed_stacks(&Profile::new()).is_empty());
+    }
+}

@@ -1,0 +1,41 @@
+//! # wmm-obs
+//!
+//! Structured observability for the `wmm-sim` execution engine.
+//!
+//! The simulator's [`Probe`](wmm_sim::Probe) seam emits typed events —
+//! instruction begin/retire, fence stalls, store-buffer capacity stalls,
+//! memory-access outcomes — tagged with the stable site id `(thread,
+//! stream index)` of the instruction that caused them, at zero cost when
+//! disabled (the default `NullProbe` path is the same code path, observing
+//! already-computed values). This crate is everything built *on top of*
+//! that seam:
+//!
+//! * [`EventBuffer`](event::EventBuffer): a deterministic bounded ring of
+//!   raw [`Event`](event::Event)s, for fine-grained inspection and
+//!   instruction-granular trace export.
+//! * [`SiteProfile`](profile::SiteProfile) / [`Profile`](profile::Profile):
+//!   per-site cycles split by cause — fence-kind stall, store-buffer
+//!   stall, exposed memory time, residual compute — folded across the
+//!   samples of a campaign and keyed by the stable site *names* a
+//!   [`SiteMap`](wmmbench::image::SiteMap) assigns (images vary with the
+//!   sample seed, so names, not raw indices, are the join key).
+//! * [`flame`]: collapsed-stack (`site;cause cycles`) export compatible
+//!   with the standard flamegraph toolchain.
+//! * [`ProfileDiff`](profile::ProfileDiff): site-by-site comparison of two
+//!   profiles, attributing a campaign-level time delta (e.g. a fencing
+//!   strategy change) to the sites whose stall profile moved.
+//!
+//! The determinism contract mirrors the rest of the workspace: folding the
+//! same runs in the same order produces bit-identical profiles regardless
+//! of worker count, and every export is a pure function of the profile.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod flame;
+pub mod profile;
+
+pub use event::{Event, EventBuffer};
+pub use flame::collapsed_stacks;
+pub use profile::{Profile, ProfileDiff, SiteDelta, SiteProfile};

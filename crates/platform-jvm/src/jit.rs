@@ -131,6 +131,18 @@ fn lower_thread(ops: &[JavaOp], cfg: JitConfig) -> Vec<Segment<Combined>> {
         }
         segs.push(Segment::Site(c));
     };
+    // Volatile accesses are tagged with a label in *every* volatile mode, so
+    // per-site profiles of barrier and ldar/stlr JITs put the access cost on
+    // the same row and a cross-JIT diff isolates the ordering surcharge.
+    let labeled = |segs: &mut Vec<Segment<Combined>>,
+                   code: &mut Vec<Instr>,
+                   label: &'static str,
+                   i: Instr| {
+        if !code.is_empty() {
+            segs.push(Segment::Code(std::mem::take(code)));
+        }
+        segs.push(Segment::Labeled(label, vec![i]));
+    };
 
     let lasr = cfg.volatile_mode == VolatileMode::LoadAcquireStoreRelease;
     // ARM's C2 locking code carries extra full barriers unless patched.
@@ -173,43 +185,68 @@ fn lower_thread(ops: &[JavaOp], cfg: JitConfig) -> Vec<Segment<Combined>> {
             }
             JavaOp::VolatileLoad(loc) => {
                 if lasr {
-                    code.push(Instr::Load {
-                        loc,
-                        ord: AccessOrd::Acquire,
-                    });
+                    labeled(
+                        &mut segs,
+                        &mut code,
+                        "vol.ld",
+                        Instr::Load {
+                            loc,
+                            ord: AccessOrd::Acquire,
+                        },
+                    );
                 } else {
                     // "each volatile load is preceded by an invocation of
                     // the Volatile barrier and followed by Acquire" (§4.2).
                     site(&mut segs, &mut code, Composite::Volatile.combined());
-                    code.push(Instr::Load {
-                        loc,
-                        ord: AccessOrd::Plain,
-                    });
+                    labeled(
+                        &mut segs,
+                        &mut code,
+                        "vol.ld",
+                        Instr::Load {
+                            loc,
+                            ord: AccessOrd::Plain,
+                        },
+                    );
                     site(&mut segs, &mut code, Composite::Acquire.combined());
                 }
             }
             JavaOp::VolatileStore(loc) => {
                 if lasr {
-                    code.push(Instr::Store {
-                        loc,
-                        ord: AccessOrd::Release,
-                    });
+                    labeled(
+                        &mut segs,
+                        &mut code,
+                        "vol.st",
+                        Instr::Store {
+                            loc,
+                            ord: AccessOrd::Release,
+                        },
+                    );
                 } else if cfg.arch == Arch::ArmV8 {
                     // Defensive ARM lowering: full barriers on both sides.
                     site(&mut segs, &mut code, Composite::Volatile.combined());
-                    code.push(Instr::Store {
-                        loc,
-                        ord: AccessOrd::Plain,
-                    });
+                    labeled(
+                        &mut segs,
+                        &mut code,
+                        "vol.st",
+                        Instr::Store {
+                            loc,
+                            ord: AccessOrd::Plain,
+                        },
+                    );
                     site(&mut segs, &mut code, Composite::Volatile.combined());
                 } else {
                     // "volatile stores are preceded by Release and followed
                     // by Volatile" (§4.2).
                     site(&mut segs, &mut code, Composite::Release.combined());
-                    code.push(Instr::Store {
-                        loc,
-                        ord: AccessOrd::Plain,
-                    });
+                    labeled(
+                        &mut segs,
+                        &mut code,
+                        "vol.st",
+                        Instr::Store {
+                            loc,
+                            ord: AccessOrd::Plain,
+                        },
+                    );
                     site(&mut segs, &mut code, Composite::Volatile.combined());
                 }
             }
@@ -352,12 +389,12 @@ mod tests {
             cfg,
         );
         assert_eq!(count_sites(&segs, |_| true), 0);
-        // The accesses became acquire/release instructions instead.
+        // The accesses became labeled acquire/release instructions instead.
         let has_acq = segs.iter().any(|s| {
-            matches!(s, Segment::Code(is) if is.iter().any(|i| matches!(i, Instr::Load { ord: AccessOrd::Acquire, .. })))
+            matches!(s, Segment::Labeled("vol.ld", is) if is.iter().any(|i| matches!(i, Instr::Load { ord: AccessOrd::Acquire, .. })))
         });
         let has_rel = segs.iter().any(|s| {
-            matches!(s, Segment::Code(is) if is.iter().any(|i| matches!(i, Instr::Store { ord: AccessOrd::Release, .. })))
+            matches!(s, Segment::Labeled("vol.st", is) if is.iter().any(|i| matches!(i, Instr::Store { ord: AccessOrd::Release, .. })))
         });
         assert!(has_acq && has_rel);
     }

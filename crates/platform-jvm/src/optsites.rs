@@ -119,6 +119,7 @@ pub fn lower_with_optsites(threads: &[Vec<JavaOp>], cfg: &JitConfig) -> Vec<Vec<
                 for seg in lower(&[vec![*op]], cfg).remove(0) {
                     out.push(match seg {
                         Segment::Code(c) => Segment::Code(c),
+                        Segment::Labeled(l, c) => Segment::Labeled(l, c),
                         Segment::Site(c) => Segment::Site(JvmPath::Barrier(c)),
                     });
                 }

@@ -23,6 +23,7 @@ use crate::arch::ArchSpec;
 use crate::isa::{AccessOrd, FenceKind, Instr, Loc, Mispredict};
 use crate::machine::WorkloadCtx;
 use crate::mem::{line_key, AccessOutcome, MemSys};
+use crate::probe::{NullProbe, Probe};
 use crate::rng::SplitMix64;
 use crate::sbuf::StoreBuffer;
 use crate::stats::Counters;
@@ -98,6 +99,24 @@ impl CoreState {
         rng: &mut SplitMix64,
         counters: &mut Counters,
     ) {
+        self.step_probed(instr, spec, ctx, mem, rng, counters, &mut NullProbe);
+    }
+
+    /// [`CoreState::step`] with an observation [`Probe`]. The probe only
+    /// receives values the timing model already computed — no arithmetic is
+    /// added or reordered — so the resulting state and counters are
+    /// bit-identical to an unprobed step.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_probed(
+        &mut self,
+        instr: &Instr,
+        spec: &ArchSpec,
+        ctx: &WorkloadCtx,
+        mem: &mut MemSys,
+        rng: &mut SplitMix64,
+        counters: &mut Counters,
+        probe: &mut dyn Probe,
+    ) {
         match *instr {
             Instr::Nop => {
                 // Nops still occupy issue slots.
@@ -129,7 +148,11 @@ impl CoreState {
             Instr::StackPush => {
                 // A store to the core's own stack line: buffered, cheap.
                 let key = line_key(self.id, Loc::Private(0));
+                let stalled = self.sbuf.stall_cycles;
                 self.clock = self.sbuf.push(self.clock, key, spec.sb_drain_local);
+                if self.sbuf.stall_cycles > stalled {
+                    probe.sb_stall(self.sbuf.stall_cycles - stalled);
+                }
                 self.clock += 1.0 / spec.issue_width;
                 counters.stores += 1;
             }
@@ -155,6 +178,7 @@ impl CoreState {
                     self.credit *= 0.5;
                 }
                 let exposed = self.hide(spec, cost);
+                probe.access(outcome, exposed);
                 self.clock += exposed;
                 if cost > spec.llc_hit * 0.5 {
                     self.load_outstanding_until =
@@ -174,7 +198,11 @@ impl CoreState {
                     self.clock += exposed;
                     self.credit *= 0.5;
                 }
+                let stalled = self.sbuf.stall_cycles;
                 self.clock = self.sbuf.push(self.clock, key, drain);
+                if self.sbuf.stall_cycles > stalled {
+                    probe.sb_stall(self.sbuf.stall_cycles - stalled);
+                }
                 self.clock += 1.0 / spec.issue_width;
             }
             Instr::Cas { loc, success_prob } => {
@@ -189,10 +217,11 @@ impl CoreState {
                     counters.cas_retries += 1;
                 }
                 let exposed = self.hide(spec, cost);
+                probe.access(outcome, exposed);
                 self.clock += exposed;
             }
             Instr::Fence(kind) => {
-                self.fence(kind, spec, ctx, counters);
+                self.fence(kind, spec, ctx, counters, probe);
             }
             Instr::CostLoop { iters, stack_spill } => {
                 counters.cost_loop_invocations += 1;
@@ -218,11 +247,13 @@ impl CoreState {
         spec: &ArchSpec,
         ctx: &WorkloadCtx,
         counters: &mut Counters,
+        probe: &mut dyn Probe,
     ) {
         counters.record_fence(kind);
         if kind == FenceKind::Compiler {
             // No instruction emitted; it only constrains the (unmodelled)
             // compiler. Zero hardware cost.
+            probe.fence_retired(kind, 0.0);
             return;
         }
 
@@ -276,6 +307,7 @@ impl CoreState {
 
         let cost = semantic.max(serial_wait);
         counters.record_fence_cycles(kind, cost);
+        probe.fence_retired(kind, cost);
         self.clock += cost;
         self.last_fence_retired = self.clock;
         // Store-side and full barriers stall the frontend while the store

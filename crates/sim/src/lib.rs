@@ -52,6 +52,7 @@ pub mod exec;
 pub mod isa;
 pub mod machine;
 pub mod mem;
+pub mod probe;
 pub mod rng;
 pub mod sbuf;
 pub mod stats;
@@ -59,5 +60,6 @@ pub mod stats;
 pub use arch::{Arch, ArchSpec};
 pub use isa::{AccessOrd, FenceKind, Instr, Loc};
 pub use machine::{Machine, Program, WorkloadCtx};
+pub use probe::{NullProbe, Probe, SiteStallProbe};
 pub use rng::SplitMix64;
-pub use stats::ExecStats;
+pub use stats::{ExecStats, SiteStall};

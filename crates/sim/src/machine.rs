@@ -5,6 +5,7 @@ use crate::arch::ArchSpec;
 use crate::exec::CoreState;
 use crate::isa::Instr;
 use crate::mem::MemSys;
+use crate::probe::{NullProbe, Probe, SiteStallProbe};
 use crate::rng::SplitMix64;
 use crate::stats::{Counters, ExecStats};
 
@@ -98,6 +99,31 @@ impl Machine {
     /// (cache misses on private data, branch mispredicts, run-level noise) —
     /// one seed corresponds to one of the paper's benchmark samples.
     pub fn run(&self, program: &Program, ctx: &WorkloadCtx, seed: u64) -> ExecStats {
+        self.run_probed(program, ctx, seed, &mut NullProbe)
+    }
+
+    /// [`Machine::run`] with per-site stall attribution: the run is driven
+    /// through a [`SiteStallProbe`] and the returned statistics carry
+    /// `per_site: Some(..)`. Every other field — wall time, core cycles,
+    /// counters, store-buffer stalls — is bit-identical to [`Machine::run`]
+    /// on the same inputs: the probe observes, it never perturbs.
+    pub fn run_sited(&self, program: &Program, ctx: &WorkloadCtx, seed: u64) -> ExecStats {
+        let mut probe = SiteStallProbe::new();
+        let mut stats = self.run_probed(program, ctx, seed, &mut probe);
+        stats.per_site = Some(probe.finish());
+        stats
+    }
+
+    /// [`Machine::run`] driving execution events through `probe` (the
+    /// observability seam; see [`crate::probe`]). Results are bit-identical
+    /// regardless of the probe attached.
+    pub fn run_probed(
+        &self,
+        program: &Program,
+        ctx: &WorkloadCtx,
+        seed: u64,
+        probe: &mut dyn Probe,
+    ) -> ExecStats {
         assert!(
             program.threads.len() <= self.spec.cores * self.spec.smt as usize,
             "program has {} threads but machine exposes {} hardware contexts",
@@ -146,14 +172,18 @@ impl Machine {
                 .expect("live is non-empty");
             let core = &mut cores[idx];
             let instr = &program.threads[idx][core.pc];
-            core.step(
+            probe.begin(idx, core.pc, instr);
+            let before = core.clock;
+            core.step_probed(
                 instr,
                 &self.spec,
                 ctx,
                 &mut mem,
                 &mut rngs[idx],
                 &mut counters,
+                probe,
             );
+            probe.retire(idx, core.pc, core.clock - before, core.clock);
             core.pc += 1;
             if core.pc >= program.threads[idx].len() {
                 live.swap_remove(slot);
@@ -173,6 +203,7 @@ impl Machine {
             counters,
             sb_stall_cycles,
             sb_stalls,
+            per_site: None,
         }
     }
 

@@ -94,6 +94,30 @@ impl Counters {
     }
 }
 
+/// Stall attribution of one executed instruction site, identified by its
+/// stable site id `(thread, stream index)`. Produced by
+/// `Machine::run_sited` through the [`crate::probe`] seam; `None` causes are
+/// compute time (`total_cycles` minus the attributed stalls).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SiteStall {
+    /// Thread (core) index.
+    pub thread: u32,
+    /// Instruction index within the thread's stream.
+    pub index: u32,
+    /// Fence kind executed at this site, if any.
+    pub fence: Option<FenceKind>,
+    /// Fence executions at this site.
+    pub fences: u64,
+    /// Cycles stalled in fences at this site.
+    pub fence_cycles: f64,
+    /// Cycles lost to store-buffer capacity stalls at this site.
+    pub sb_stall_cycles: f64,
+    /// Memory-access cycles exposed on the critical path at this site.
+    pub mem_cycles: f64,
+    /// Total cycles the site advanced its core's clock by.
+    pub total_cycles: f64,
+}
+
 /// Result of one full program execution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecStats {
@@ -107,6 +131,10 @@ pub struct ExecStats {
     pub sb_stall_cycles: f64,
     /// Number of store-buffer capacity stalls.
     pub sb_stalls: u64,
+    /// Per-site stall attribution, sorted by `(thread, index)`. `None`
+    /// unless the run was driven through `Machine::run_sited` — the
+    /// default path carries no observability cost.
+    pub per_site: Option<Vec<SiteStall>>,
 }
 
 impl ExecStats {
@@ -147,6 +175,23 @@ impl ExecStats {
             .map(|&k| self.fence_stall_cycles(k))
             .sum()
     }
+
+    /// Sum of per-site fence stall cycles over sites whose fence is `kind`,
+    /// if per-site attribution was collected.
+    ///
+    /// Mathematically this equals [`ExecStats::fence_stall_cycles`] — both
+    /// accounts add the identical per-execution cost values — but the
+    /// per-site sum regroups the additions, so the two agree to floating
+    /// point reassociation (≈1e-9 relative), not bitwise.
+    pub fn site_fence_stall_cycles(&self, kind: FenceKind) -> Option<f64> {
+        self.per_site.as_ref().map(|sites| {
+            sites
+                .iter()
+                .filter(|s| s.fence == Some(kind))
+                .map(|s| s.fence_cycles)
+                .sum()
+        })
+    }
 }
 
 #[cfg(test)]
@@ -166,6 +211,7 @@ mod tests {
             counters: c,
             sb_stall_cycles: 0.0,
             sb_stalls: 0,
+            per_site: None,
         };
         assert_eq!(stats.fences(FenceKind::DmbIsh), 2);
         assert_eq!(stats.mean_fence_cycles(FenceKind::DmbIsh), Some(12.0));

@@ -19,6 +19,8 @@
 //! * [`wmm_workloads`] — DaCapo-, Spark- and kernel-suite-like workloads.
 //! * [`wmm_harness`] — parallel experiment engine: deterministic
 //!   scheduler, result cache, run manifests and the regression gate.
+//! * [`wmm_obs`] — zero-cost-when-disabled observability: typed event
+//!   streams, per-site stall profiles, collapsed-stack export.
 //! * [`wmm_bench`] — experiment drivers regenerating every paper artefact.
 
 pub use wmm_analyze;
@@ -27,6 +29,7 @@ pub use wmm_harness;
 pub use wmm_jvm;
 pub use wmm_kernel;
 pub use wmm_litmus;
+pub use wmm_obs;
 pub use wmm_sim;
 pub use wmm_stats;
 pub use wmm_workloads;

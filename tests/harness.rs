@@ -5,14 +5,15 @@
 
 use proptest::prelude::*;
 
+use wmm::wmm_bench::profiling::{batch_with_profile, site_records};
 use wmm::wmm_harness::{compare, job_key, GateConfig, ParallelExecutor, RunManifest, SimCache};
 use wmm::wmm_sim::arch::armv8_xgene1;
-use wmm::wmm_sim::isa::{FenceKind, Instr};
+use wmm::wmm_sim::isa::{AccessOrd, FenceKind, Instr, Loc};
 use wmm::wmm_sim::machine::{Program, WorkloadCtx};
 use wmm::wmm_sim::Machine;
 use wmm::wmmbench::costfn::Calibration;
 use wmm::wmmbench::exec::{Executor, SerialExecutor, SimJob};
-use wmm::wmmbench::image::{compute_envelope, Image, Segment};
+use wmm::wmmbench::image::{compute_envelope, Image, Injection, Segment, SiteRewriter};
 use wmm::wmmbench::runner::{BenchSpec, RunConfig};
 use wmm::wmmbench::sensitivity::{pow2_targets, sweep_with, SweepResult, SweepTarget};
 use wmm::wmmbench::strategy::FnStrategy;
@@ -230,6 +231,108 @@ fn manifest_roundtrips_through_disk() {
 }
 
 // ---------------------------------------------------------------------------
+// Observability: sited runs are free, deterministic, and sum consistently
+// ---------------------------------------------------------------------------
+
+/// A two-thread bench with fences and shared stores, so sited runs have
+/// cross-thread contention, store-buffer pressure and per-site stalls.
+struct Contended;
+
+impl BenchSpec<Site> for Contended {
+    fn name(&self) -> &str {
+        "contended"
+    }
+    fn image(&self, seed: u64) -> Image<Site> {
+        let thread = |t: u64| {
+            let mut segs = vec![];
+            for i in 0..12u64 {
+                segs.push(Segment::Code(vec![
+                    Instr::Compute {
+                        cycles: 80 + ((seed ^ t).wrapping_add(i) % 5) as u32 * 9,
+                    },
+                    Instr::Store {
+                        loc: Loc::SharedRw(0x40 + (i % 4)),
+                        ord: AccessOrd::Plain,
+                    },
+                ]));
+                segs.push(Segment::Labeled(
+                    "ld",
+                    vec![Instr::Load {
+                        loc: Loc::SharedRw(0x40 + ((i + 1) % 4)),
+                        ord: AccessOrd::Plain,
+                    }],
+                ));
+                segs.push(Segment::Site(Site));
+            }
+            segs
+        };
+        Image {
+            threads: vec![thread(0), thread(1)],
+            ctx: WorkloadCtx::default(),
+            work_units: 24.0,
+        }
+    }
+}
+
+/// One sited profiling batch of the contended bench through `exec`,
+/// rendered as the deterministic manifest text the CI gate consumes.
+fn profiled_manifest_text(exec: &dyn Executor) -> String {
+    let machine = Machine::new(armv8_xgene1());
+    let strategy = FnStrategy::new("dmb", |_: &Site| vec![Instr::Fence(FenceKind::DmbIsh)]);
+    let env = compute_envelope(&[Site], &[&strategy], 0);
+    let rw = SiteRewriter::new(&strategy, Injection::None, env);
+    let batch = batch_with_profile(&machine, &Contended, &rw, RunConfig::quick(), exec);
+    assert!(
+        batch.profile.sites.values().any(|s| s.fences > 0),
+        "fenced bench must attribute fence stalls to sites"
+    );
+    let mut manifest = RunManifest::new("obs_determinism", "armv8-xgene1");
+    manifest.push_cell("contended/wall_ns", batch.mean_wall_ns());
+    manifest.push_cell("contended/sites", batch.profile.sites.len() as f64);
+    let mut telemetry = wmm::wmm_harness::Telemetry::default();
+    telemetry.sites = Some(site_records(&batch.profile));
+    manifest.telemetry = Some(telemetry);
+    manifest.deterministic_json().to_string_pretty()
+}
+
+#[test]
+fn sited_profiles_identical_across_thread_counts_and_reruns() {
+    // The determinism contract extends to the observability layer: the
+    // per-site profile — and the manifest text carrying it, which CI gates
+    // against a committed baseline — is byte-identical whether the batch
+    // ran serially, on one worker, or on four, and across reruns.
+    let reference = profiled_manifest_text(&SerialExecutor);
+    for threads in [1, 4] {
+        let exec = ParallelExecutor::new(Some(threads));
+        assert_eq!(
+            profiled_manifest_text(&exec),
+            reference,
+            "threads = {threads}"
+        );
+        assert_eq!(
+            profiled_manifest_text(&exec),
+            reference,
+            "rerun, threads = {threads}"
+        );
+    }
+}
+
+#[test]
+fn labeled_segments_get_stable_site_names() {
+    let strategy = FnStrategy::new("dmb", |_: &Site| vec![Instr::Fence(FenceKind::DmbIsh)]);
+    let env = compute_envelope(&[Site], &[&strategy], 0);
+    let rw = SiteRewriter::new(&strategy, Injection::None, env);
+    let img = Contended.image(7);
+    let (prog, map) = rw.link_sited(&img);
+    // The labeled loads are their own named rows, distinct from pooled code.
+    assert!(map.names().iter().any(|n| n == "t0:ld#0"));
+    assert!(map.names().iter().any(|n| n == "t1:ld#11"));
+    assert!(map.names().iter().any(|n| n == "t0:code"));
+    // link_sited is a pure annotation: same program as link().
+    assert_eq!(prog.threads, rw.link(&img).threads);
+}
+
+// ---------------------------------------------------------------------------
 // Property tests: batch-level determinism and cache-key hygiene
 // ---------------------------------------------------------------------------
 
@@ -245,6 +348,7 @@ fn mk_jobs<'m>(machine: &'m Machine, spec: &[(u32, u64)]) -> Vec<SimJob<'m>> {
             ]]),
             ctx: WorkloadCtx::default(),
             seed,
+            sited: false,
         })
         .collect()
 }
@@ -281,6 +385,64 @@ proptest! {
         let warm = exec.run_batch(mk_jobs(&machine, &spec));
         prop_assert_eq!(&cold, &uncached);
         prop_assert_eq!(&warm, &uncached);
+    }
+
+    /// Sited execution is observation, not perturbation: for any program,
+    /// `run_sited` returns byte-identical statistics to `run` (the default
+    /// path carries no observability cost), and its per-site fence stalls
+    /// partition the per-kind totals — same execution counts exactly, same
+    /// cycles within float reassociation.
+    #[test]
+    fn sited_runs_are_free_and_partition_fence_totals(
+        spec in prop::collection::vec((0u32..2_000, 0usize..7, 0u64..4), 2..24),
+        seed in 0u64..1_000,
+    ) {
+        let machine = Machine::new(armv8_xgene1());
+        let mut threads = vec![vec![], vec![]];
+        for (i, &(cycles, kind, loc)) in spec.iter().enumerate() {
+            let t = &mut threads[i % 2];
+            t.push(Instr::Compute { cycles: 50 + cycles });
+            t.push(Instr::Store {
+                loc: Loc::SharedRw(0x80 + loc),
+                ord: AccessOrd::Plain,
+            });
+            t.push(Instr::Fence(FenceKind::ALL[kind]));
+        }
+        let prog = Program::new(threads);
+        let ctx = WorkloadCtx::default();
+
+        let plain = machine.run(&prog, &ctx, seed);
+        let sited = machine.run_sited(&prog, &ctx, seed);
+        prop_assert!(plain.per_site.is_none(), "default path must not observe");
+        let mut scrubbed = sited.clone();
+        let sites = scrubbed.per_site.take().expect("sited run must observe");
+        prop_assert_eq!(&scrubbed, &plain);
+
+        for &kind in &FenceKind::ALL {
+            let fences: u64 = sites
+                .iter()
+                .filter(|s| s.fence == Some(kind))
+                .map(|s| s.fences)
+                .sum();
+            prop_assert_eq!(fences, sited.fences(kind));
+            let site_cycles: f64 = sites
+                .iter()
+                .filter(|s| s.fence == Some(kind))
+                .map(|s| s.fence_cycles)
+                .sum();
+            let kind_cycles = sited.fence_stall_cycles(kind);
+            prop_assert!(
+                (site_cycles - kind_cycles).abs() <= 1e-9 * kind_cycles.abs().max(1.0),
+                "fence cycles, {kind:?}: {site_cycles} vs {kind_cycles}"
+            );
+        }
+        let site_sb: f64 = sites.iter().map(|s| s.sb_stall_cycles).sum();
+        prop_assert!(
+            (site_sb - sited.sb_stall_cycles).abs()
+                <= 1e-9 * sited.sb_stall_cycles.abs().max(1.0),
+            "sb cycles: {site_sb} vs {}",
+            sited.sb_stall_cycles
+        );
     }
 
     /// Cache keys separate distinct inputs and are stable for equal ones.
