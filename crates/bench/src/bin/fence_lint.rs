@@ -1,6 +1,6 @@
 //! fence_lint — static fence-placement audit for every shipped strategy.
 //!
-//! Three sections, one run manifest (`results/runs/fence_lint.json`):
+//! Four sections, one run manifest (`results/runs/fence_lint.json`):
 //!
 //! 1. **Litmus differential** — for every suite program and every model,
 //!    the static verdict (all Shasha–Snir critical cycles protected) must
@@ -15,16 +15,25 @@
 //!    under all six Fig. 10 strategies: `base case` and `ctrl` must be
 //!    flagged unprotected, the other four protected, and the
 //!    over-annotating `la/sr` must draw redundant lints.
+//! 4. **Dstruct reclamation schemes** — the hazard-publication/scan and
+//!    epoch idioms under all four schemes: only `hp-dmb` statically
+//!    protects the HP race and only `ebr` the epoch race; `hp-asym` is
+//!    *expected* unprotected (its reader ordering is a process-wide
+//!    membarrier outside the per-thread fence model) and `nr` is the
+//!    unsafe baseline.
 //!
-//! Exit is non-zero on any differential disagreement, any unprotected
-//! cycle in a shipped strategy, a missed seeded bug, or a missing
-//! expected lint — so CI can gate on it; `bench_gate` then guards the
-//! manifest against drift.
+//! Exit is non-zero on any differential disagreement, any unexpected
+//! protection verdict, a missed seeded bug, or a missing expected lint —
+//! so CI can gate on it; `bench_gate` then guards the manifest against
+//! drift. The stream-ingestion path (pricing, printing, manifest rows,
+//! verdict checks) is shared with `fence_synth` via `wmm_bench::streams`.
 
 use std::process::ExitCode;
 
-use wmm_analyze::{analyze, check_cycle, critical_cycles, Analysis, ProgramGraph};
+use wmm_analyze::{check_cycle, critical_cycles, Analysis, ProgramGraph};
+use wmm_bench::streams::{audit_streams, MODELS};
 use wmm_bench::{machine, runs_dir, volatile_mp_idiom, volatile_sb_idiom};
+use wmm_dstruct::{ebr_reclaim_idiom, hp_reclaim_idiom, scheme_strategies};
 use wmm_harness::RunManifest;
 use wmm_jvm::barrier::Composite;
 use wmm_jvm::jit::{lower, JavaOp, JitConfig};
@@ -36,82 +45,8 @@ use wmm_litmus::ops::ModelKind;
 use wmm_litmus::suite::full_suite;
 use wmm_sim::arch::Arch;
 use wmm_sim::isa::{FenceKind, Instr};
-use wmm_sim::machine::Machine;
 use wmmbench::image::flatten_streams;
-
-/// Nominal fence sensitivity used to price redundant fences (spark on
-/// ARMv8, the paper's most barrier-sensitive workload — Fig. 5).
-const NOMINAL_K: f64 = 0.0087;
-
-const MODELS: [ModelKind; 4] = [
-    ModelKind::Sc,
-    ModelKind::Tso,
-    ModelKind::ArmV8,
-    ModelKind::Power,
-];
-
-fn push_analysis(m: &mut RunManifest, label: &str, a: &Analysis) {
-    m.push_cell(format!("{label}/cycles"), a.cycles as f64);
-    m.push_cell(format!("{label}/unprotected"), a.unprotected.len() as f64);
-    m.push_cell(format!("{label}/redundant"), a.redundant.len() as f64);
-    m.push_cell(format!("{label}/downgrade"), a.downgrade.len() as f64);
-}
-
-fn print_unprotected(a: &Analysis) {
-    for u in &a.unprotected {
-        println!("    UNPROTECTED {}", u.cycle);
-        for (from, to) in &u.missing {
-            println!("      missing ordering: {from} -> {to}");
-        }
-    }
-}
-
-fn print_redundant(a: &Analysis) {
-    for r in &a.redundant {
-        let place = if r.on_cycle {
-            "covered elsewhere"
-        } else {
-            "on no cycle"
-        };
-        let saving = r
-            .saving_ns
-            .map(|ns| format!(", est. saving {ns:.1} ns/invocation"))
-            .unwrap_or_default();
-        println!(
-            "    redundant fence: {} at t{} slot {} ({place}{saving})",
-            r.mnemonic, r.thread, r.slot
-        );
-    }
-}
-
-fn print_downgrade(a: &Analysis) {
-    for d in &a.downgrade {
-        let saving = d
-            .saving_ns
-            .map(|ns| format!(", est. saving {ns:.1} ns/invocation"))
-            .unwrap_or_else(|| ", unpriced".into());
-        println!(
-            "    over-strong fence: {} at t{} slot {} suffices as {}{saving}",
-            d.mnemonic, d.thread, d.slot, d.to_mnemonic
-        );
-    }
-}
-
-/// Per-fence cost (ns) on `mach`, keyed by the stream mnemonic.
-fn fence_cost(mach: &Machine) -> impl Fn(&str) -> f64 + '_ {
-    |mnemonic: &str| {
-        let kind = match mnemonic {
-            "DmbIsh" => Some(FenceKind::DmbIsh),
-            "DmbIshLd" => Some(FenceKind::DmbIshLd),
-            "DmbIshSt" => Some(FenceKind::DmbIshSt),
-            "Isb" => Some(FenceKind::Isb),
-            "HwSync" => Some(FenceKind::HwSync),
-            "LwSync" => Some(FenceKind::LwSync),
-            _ => None,
-        };
-        kind.map_or(0.0, |k| mach.time_sequence_ns(&[Instr::Fence(k)], 2000, 7))
-    }
-}
+use wmmbench::strategy::FencingStrategy;
 
 // --- section 1: litmus differential ---------------------------------------
 
@@ -149,18 +84,30 @@ fn litmus_section(manifest: &mut RunManifest, errors: &mut Vec<String>) {
 
 // --- section 2: JVM volatile idioms ---------------------------------------
 
+#[allow(clippy::too_many_arguments)]
 fn jvm_analysis(
-    name: &str,
+    manifest: &mut RunManifest,
+    errors: &mut Vec<String>,
+    label: &str,
     idiom: &[Vec<JavaOp>],
     cfg: &JitConfig,
     strategy: &JvmStrategy,
     model: ModelKind,
     arch: Arch,
+    expect_protected: bool,
 ) -> Analysis {
     let streams = flatten_streams(&lower(idiom, cfg), strategy);
-    let g = ProgramGraph::from_streams(name, &streams, &[]);
     let mach = machine(arch);
-    analyze(&g, model).with_savings(NOMINAL_K, fence_cost(&mach))
+    audit_streams(
+        manifest,
+        errors,
+        label,
+        &streams,
+        &[],
+        model,
+        &mach,
+        expect_protected,
+    )
 }
 
 fn jvm_section(manifest: &mut RunManifest, errors: &mut Vec<String>) {
@@ -196,22 +143,10 @@ fn jvm_section(manifest: &mut RunManifest, errors: &mut Vec<String>) {
     for (table, cfg, strategy, model, arch) in &tables {
         for (idiom_name, idiom) in &idioms {
             let label = format!("jvm/{table}/{idiom_name}");
-            let a = jvm_analysis(&label, idiom, cfg, strategy, *model, *arch);
-            println!(
-                "  {label}: {} cycles, {} unprotected, {} redundant",
-                a.cycles,
-                a.unprotected.len(),
-                a.redundant.len()
+            // Shipped tables must protect both idioms.
+            let a = jvm_analysis(
+                manifest, errors, &label, idiom, cfg, strategy, *model, *arch, true,
             );
-            print_unprotected(&a);
-            print_redundant(&a);
-            print_downgrade(&a);
-            push_analysis(manifest, &label, &a);
-            if !a.protected() {
-                errors.push(format!(
-                    "shipped JVM table {table} leaves {idiom_name} unprotected"
-                ));
-            }
             // The defensive JDK8 writer brackets the MP publish store with
             // full dmbs where a store-store barrier suffices: the downgrade
             // lint must spot it.
@@ -229,12 +164,15 @@ fn jvm_section(manifest: &mut RunManifest, errors: &mut Vec<String>) {
     // The defensive JDK8 ARM lowering double-fences adjacent volatiles:
     // the lint must fire (this is the redundancy demonstration).
     let a = jvm_analysis(
-        "jvm/jdk8-arm/volatile-SB",
+        manifest,
+        errors,
+        "jvm/jdk8-arm/volatile-SB/defensive",
         &volatile_sb_idiom(),
         &JitConfig::jdk8(Arch::ArmV8),
         &arm_jdk8_barriers(),
         ModelKind::ArmV8,
         Arch::ArmV8,
+        true,
     );
     if a.redundant.is_empty() {
         errors.push("expected redundant-fence lints on the defensive JDK8 ARM lowering".into());
@@ -249,22 +187,20 @@ fn jvm_section(manifest: &mut RunManifest, errors: &mut Vec<String>) {
         )
         .named("jdk8-arm+volatile=dmb.ishst (seeded bug)");
     let a = jvm_analysis(
+        manifest,
+        errors,
         "jvm/seeded-bug/volatile-SB",
         &volatile_sb_idiom(),
         &JitConfig::jdk8(Arch::ArmV8),
         &buggy,
         ModelKind::ArmV8,
         Arch::ArmV8,
+        false,
     );
     println!(
         "  jvm/seeded-bug/volatile-SB: {} unprotected (expected > 0)",
         a.unprotected.len()
     );
-    print_unprotected(&a);
-    push_analysis(manifest, "jvm/seeded-bug/volatile-SB", &a);
-    if a.protected() {
-        errors.push("seeded buggy JVM strategy was NOT caught".into());
-    }
 }
 
 // --- section 3: kernel read_barrier_depends -------------------------------
@@ -278,29 +214,19 @@ fn kernel_section(manifest: &mut RunManifest, errors: &mut Vec<String>) {
         let (streams, deps) = rbd_publish(which);
         let tag = which.label().replace([' ', '/'], "-");
         let label = format!("kernel/rbd={tag}");
-        let g = ProgramGraph::from_streams(label.clone(), &streams, &deps);
-        let a = analyze(&g, ModelKind::ArmV8).with_savings(NOMINAL_K, fence_cost(&mach));
-        println!(
-            "  {label}: {} cycles, {} unprotected, {} redundant",
-            a.cycles,
-            a.unprotected.len(),
-            a.redundant.len()
-        );
-        print_unprotected(&a);
-        print_redundant(&a);
-        print_downgrade(&a);
-        push_analysis(manifest, &label, &a);
-
         // §4.3.1: the base case and a bare control dependency do not order
         // the dependent load; the other four strategies do.
         let expect_protected = !matches!(which, RbdStrategy::BaseCase | RbdStrategy::Ctrl);
-        if a.protected() != expect_protected {
-            errors.push(format!(
-                "rbd={}: expected protected={expect_protected}, got {}",
-                which.label(),
-                a.protected()
-            ));
-        }
+        let a = audit_streams(
+            manifest,
+            errors,
+            &label,
+            &streams,
+            &deps,
+            ModelKind::ArmV8,
+            &mach,
+            expect_protected,
+        );
         if which == RbdStrategy::LaSr && a.redundant.is_empty() {
             errors.push("expected redundant-fence lints on the la/sr over-annotation".into());
         }
@@ -313,6 +239,46 @@ fn kernel_section(manifest: &mut RunManifest, errors: &mut Vec<String>) {
     }
 }
 
+// --- section 4: dstruct reclamation schemes --------------------------------
+// The hazard/epoch idioms live in `wmm_dstruct::retire`, shared with the
+// crate's own differential tests and fence_synth's dstruct section.
+
+fn dstruct_section(manifest: &mut RunManifest, errors: &mut Vec<String>) {
+    println!("== dstruct reclamation schemes (HP + epoch races) ==");
+    let mach = machine(Arch::ArmV8);
+    for s in scheme_strategies() {
+        // The hazard race (publish hazard vs scan): only the per-protect
+        // dmb closes it statically. hp-asym is deliberately unprotected
+        // here — its reader ordering is a process-wide membarrier the
+        // per-thread fence model cannot see (the documented blind spot
+        // both oracles agree on).
+        let (streams, deps) = hp_reclaim_idiom(&s);
+        audit_streams(
+            manifest,
+            errors,
+            &format!("dstruct/hp={}", s.name()),
+            &streams,
+            &deps,
+            ModelKind::ArmV8,
+            &mach,
+            s.name() == "hp-dmb",
+        );
+        // The epoch race (announce epoch vs advance): only EBR's boundary
+        // fences close it.
+        let (streams, deps) = ebr_reclaim_idiom(&s);
+        audit_streams(
+            manifest,
+            errors,
+            &format!("dstruct/epoch={}", s.name()),
+            &streams,
+            &deps,
+            ModelKind::ArmV8,
+            &mach,
+            s.name() == "ebr",
+        );
+    }
+}
+
 fn main() -> ExitCode {
     println!("fence_lint — static fence-placement audit");
     let mut manifest = RunManifest::new("fence_lint", "static");
@@ -321,6 +287,7 @@ fn main() -> ExitCode {
     litmus_section(&mut manifest, &mut errors);
     jvm_section(&mut manifest, &mut errors);
     kernel_section(&mut manifest, &mut errors);
+    dstruct_section(&mut manifest, &mut errors);
 
     let path = manifest.write(runs_dir()).expect("write manifest");
     println!("wrote {}", path.display());

@@ -13,7 +13,7 @@
 //! * **dynamically**: the operational explorer must no longer reach the
 //!   weak outcome on the reinforced litmus shape.
 //!
-//! Four sections, one run manifest (`results/runs/fence_synth.json`):
+//! Five sections, one run manifest (`results/runs/fence_synth.json`):
 //!
 //! 1. **Litmus suite** — every suite program × every model, both
 //!    validators on every placement.
@@ -21,11 +21,15 @@
 //!    publication idiom, re-lowered through kernel macro sites and
 //!    compared against all six hand strategies of Fig. 10 (synthesis must
 //!    cost no more than the best protected hand strategy).
-//! 3. **JVM volatile idioms** — synthesis on the bare JIT lowering of the
+//! 3. **Dstruct reclamation** — synthesis on the bare hazard-pointer
+//!    publication/scan idiom (the Treiber-pop protect skeleton) and the
+//!    bare epoch idiom, re-lowered through the dstruct reclamation sites
+//!    and raced against the four scheme lowerings.
+//! 4. **JVM volatile idioms** — synthesis on the bare JIT lowering of the
 //!    Dekker (SB) and message-passing (MP) idioms, compared against the
 //!    JDK8 barrier and JDK9 `ldar`/`stlr` lowerings on ARM and the JDK9
 //!    lowering on POWER.
-//! 4. **Seam-measured micro costs** — per-fence ns through the `Executor`
+//! 5. **Seam-measured micro costs** — per-fence ns through the `Executor`
 //!    seam, recorded as a cross-check next to the static cost table (the
 //!    table, not the measurement, prices synthesis: §4.2.1 shows micro
 //!    timing cannot separate the `dmb` variants).
@@ -34,48 +38,34 @@
 //! content is bit-identical across runs and `--threads` worker counts;
 //! `--quick` is accepted for CI symmetry and changes nothing. Exit is
 //! non-zero on any failed validator, synthesis error, or hand strategy
-//! beating synthesis — `bench_gate` then guards the manifest.
+//! beating synthesis — `bench_gate` then guards the manifest. The
+//! stream-ingestion skeleton (synthesize → dual-validate → hand race) is
+//! `wmm_bench::streams::synth_stream_case`, shared with `fence_lint`.
 
 use std::process::ExitCode;
 
 use wmm_analyze::{
-    analyze, apply_to_graph, graph_cost, synthesize, CostModel, Placement, ProgramGraph,
-    SynthConfig,
+    analyze, apply_to_graph, graph_cost, synthesize, CostModel, ProgramGraph, SynthConfig,
+};
+use wmm_bench::streams::{
+    explorer_rejects_weak, synth_stream_case, StreamCase, COST_EPS, MODELS, NOMINAL_K,
 };
 use wmm_bench::{cli_threads, runs_dir, seam_fence_costs, volatile_mp_idiom, volatile_sb_idiom};
+use wmm_dstruct::{
+    bare_reclaim, ebr_reclaim_idiom, hp_reclaim_idiom, nr_strategy, scheme_strategies,
+    strategy_from_placement as dstruct_from_placement, DSite,
+};
 use wmm_harness::{ParallelExecutor, RunManifest, SimCache};
 use wmm_jvm::jit::{lower, JavaOp, JitConfig};
 use wmm_jvm::strategy::{arm_jdk8_barriers, null_barriers, power_jdk9, with_placement};
 use wmm_kernel::publish::{bare_publish, publish_idiom, rbd_publish, strategy_from_placement};
 use wmm_kernel::rbd::RbdStrategy;
-use wmm_litmus::explore::explore;
 use wmm_litmus::ops::ModelKind;
 use wmm_litmus::suite::{self, full_suite};
 use wmm_litmus::LitmusTest;
 use wmm_sim::arch::Arch;
 use wmmbench::image::flatten_streams;
-
-/// Nominal fence sensitivity pricing the cost table (spark on ARMv8, the
-/// paper's most barrier-sensitive workload — Fig. 5), matching fence_lint.
-const NOMINAL_K: f64 = 0.0087;
-
-/// Cost slack for "synthesis ≤ best hand strategy": ties are allowed,
-/// float noise is not a failure.
-const COST_EPS: f64 = 1e-9;
-
-const MODELS: [ModelKind; 4] = [
-    ModelKind::Sc,
-    ModelKind::Tso,
-    ModelKind::ArmV8,
-    ModelKind::Power,
-];
-
-/// Dynamic validation: after reinforcing `test` with the placement, the
-/// explorer must no longer reach the weak outcome under `model`.
-fn explorer_rejects_weak(test: &LitmusTest, placement: &Placement, model: ModelKind) -> bool {
-    let reinforced = test.reinforced(&placement.to_reinforce());
-    !explore(&reinforced, model).allows_with_memory(&reinforced.interesting, &reinforced.memory)
-}
+use wmmbench::strategy::FencingStrategy;
 
 // --- section 1: litmus suite ----------------------------------------------
 
@@ -126,86 +116,89 @@ fn litmus_section(manifest: &mut RunManifest, errors: &mut Vec<String>, costs: &
 
 fn rbd_section(manifest: &mut RunManifest, errors: &mut Vec<String>, costs: &CostModel) {
     println!("== kernel rbd publication idiom (Fig. 10 strategy space) ==");
-    let model = ModelKind::ArmV8;
-    let (bare, deps) = bare_publish();
-    let g = ProgramGraph::from_streams("kernel/rbd-publish/bare", &bare, &deps);
-
-    // Fences only: kernel macro sites are pure instruction sequences, so
-    // upgrades/dependencies have no site to live in.
-    let p = match synthesize(&g, SynthConfig::fences_only(model), costs) {
-        Ok(p) => p,
-        Err(e) => {
-            errors.push(format!("synth/rbd: synthesis failed: {e}"));
-            return;
-        }
+    let case = StreamCase {
+        label: "synth/rbd".into(),
+        graph: "kernel/rbd-publish".into(),
+        model: ModelKind::ArmV8,
+        bare: bare_publish(),
+        // Fences only: kernel macro sites are pure instruction sequences,
+        // so upgrades/dependencies have no site to live in.
+        fences_only: true,
+        // Message passing has the same access skeleton as the publication
+        // idiom.
+        litmus: suite::message_passing().test,
+        relower: Box::new(|ins| strategy_from_placement(ins).map(|s| publish_idiom(&s, None))),
+        hands: RbdStrategy::ALL
+            .iter()
+            .map(|which| {
+                let (streams, sdeps) = rbd_publish(*which);
+                let tag = which.label().replace([' ', '/'], "-");
+                (tag.clone(), format!("kernel/rbd={tag}"), streams, sdeps)
+            })
+            .collect(),
     };
-    println!("  synthesized: {} ({:.1} ns)", p.describe(), p.cost_ns);
-    manifest.push_cell("synth/rbd/cost_ns", p.cost_ns);
-    manifest.push_cell("synth/rbd/instruments", p.instruments.len() as f64);
-
-    // Static validation through the kernel re-lowering: the placement maps
-    // onto smp_wmb / read_barrier_depends and must protect the idiom.
-    let static_ok = match strategy_from_placement(&p.instruments) {
-        Some(s) => {
-            let (streams, sdeps) = publish_idiom(&s, None);
-            let g2 = ProgramGraph::from_streams("kernel/rbd-publish/synth", &streams, &sdeps);
-            analyze(&g2, model).protected()
-        }
-        None => {
-            errors.push("synth/rbd: placement does not map onto kernel macro sites".into());
-            false
-        }
-    };
-    // Dynamic validation on the matching litmus shape (message passing has
-    // the same access skeleton as the publication idiom).
-    let dynamic_ok = explorer_rejects_weak(&suite::message_passing().test, &p, model);
-    manifest.push_cell("synth/rbd/valid", f64::from(static_ok && dynamic_ok));
-    if !static_ok {
-        errors.push("synth/rbd: re-lowered strategy leaves the idiom unprotected".into());
-    }
-    if !dynamic_ok {
-        errors.push("synth/rbd: explorer reaches the weak outcome".into());
-    }
-
-    // Hand comparison over the six Fig. 10 strategies.
-    let mut best_hand = f64::INFINITY;
-    for which in RbdStrategy::ALL {
-        let (streams, sdeps) = rbd_publish(which);
-        let tag = which.label().replace([' ', '/'], "-");
-        let gh = ProgramGraph::from_streams(format!("kernel/rbd={tag}"), &streams, &sdeps);
-        let protected = analyze(&gh, model).protected();
-        let cost = graph_cost(&gh, model, costs);
-        println!(
-            "  hand rbd={tag}: {cost:.1} ns, {}",
-            if protected {
-                "protected"
-            } else {
-                "UNPROTECTED"
-            }
-        );
-        manifest.push_cell(format!("synth/rbd/hand/{tag}/cost_ns"), cost);
-        manifest.push_cell(
-            format!("synth/rbd/hand/{tag}/protected"),
-            f64::from(protected),
-        );
-        if protected {
-            best_hand = best_hand.min(cost);
-        }
-    }
-    manifest.push_cell("synth/rbd/best_hand_cost_ns", best_hand);
-    println!(
-        "  synthesis {:.1} ns vs best protected hand strategy {best_hand:.1} ns",
-        p.cost_ns
-    );
-    if p.cost_ns > best_hand + COST_EPS {
-        errors.push(format!(
-            "synth/rbd: synthesized cost {:.3} ns exceeds best hand strategy {best_hand:.3} ns",
-            p.cost_ns
-        ));
-    }
+    synth_stream_case(&case, manifest, errors, costs);
 }
 
-// --- section 3: JVM volatile idioms ----------------------------------------
+// --- section 3: dstruct reclamation ----------------------------------------
+
+fn dstruct_section(manifest: &mut RunManifest, errors: &mut Vec<String>, costs: &CostModel) {
+    println!("== dstruct hazard-pointer reclamation (Treiber protect skeleton) ==");
+    // Both reclamation races are SB-shaped (announce vs scan), so the
+    // store-buffering litmus is the dynamic validation shape for each.
+    let hp_case = StreamCase {
+        label: "synth/dstruct/hp".into(),
+        graph: "dstruct/hp-reclaim".into(),
+        model: ModelKind::ArmV8,
+        bare: bare_reclaim(),
+        // Reclamation sites are pure instruction sequences, like kernel
+        // macros: fences only.
+        fences_only: true,
+        litmus: suite::store_buffering().test,
+        relower: Box::new(|ins| dstruct_from_placement(ins).map(|s| hp_reclaim_idiom(&s))),
+        hands: scheme_strategies()
+            .iter()
+            .map(|s| {
+                let (streams, sdeps) = hp_reclaim_idiom(s);
+                let tag = s.name().to_string();
+                (tag.clone(), format!("dstruct/hp={tag}"), streams, sdeps)
+            })
+            .collect(),
+    };
+    synth_stream_case(&hp_case, manifest, errors, costs);
+
+    println!("== dstruct epoch reclamation (announce/advance skeleton) ==");
+    let epoch_case = StreamCase {
+        label: "synth/dstruct/epoch".into(),
+        graph: "dstruct/epoch-reclaim".into(),
+        model: ModelKind::ArmV8,
+        bare: bare_reclaim(),
+        fences_only: true,
+        litmus: suite::store_buffering().test,
+        // The placement lands on the reader/reclaimer slots; re-home it on
+        // the epoch sites and re-lower the epoch idiom.
+        relower: Box::new(|ins| {
+            dstruct_from_placement(ins).map(|s| {
+                let e = nr_strategy()
+                    .with(DSite::EpochEnter, s.lower(&DSite::HpProtect))
+                    .with(DSite::EpochAdvance, s.lower(&DSite::HpScan))
+                    .named("epoch=synth");
+                ebr_reclaim_idiom(&e)
+            })
+        }),
+        hands: scheme_strategies()
+            .iter()
+            .map(|s| {
+                let (streams, sdeps) = ebr_reclaim_idiom(s);
+                let tag = s.name().to_string();
+                (tag.clone(), format!("dstruct/epoch={tag}"), streams, sdeps)
+            })
+            .collect(),
+    };
+    synth_stream_case(&epoch_case, manifest, errors, costs);
+}
+
+// --- section 4: JVM volatile idioms ----------------------------------------
 
 struct JvmCase {
     name: &'static str,
@@ -284,6 +277,9 @@ fn jvm_cases() -> Vec<JvmCase> {
 fn jvm_section(manifest: &mut RunManifest, errors: &mut Vec<String>, costs: &CostModel) {
     println!("== JVM volatile lowerings ==");
     for case in jvm_cases() {
+        // The JVM platform re-lowers through JIT op streams rather than
+        // raw instruction streams, so it keeps its own re-lowering step
+        // and borrows only the shared validators and pricing.
         let label = format!("synth/jvm/{}", case.name);
         let bare = flatten_streams(&lower(&case.idiom, &case.bare_cfg), &null_barriers());
         let g = ProgramGraph::from_streams(format!("jvm/{}/bare", case.name), &bare, &[]);
@@ -347,7 +343,7 @@ fn jvm_section(manifest: &mut RunManifest, errors: &mut Vec<String>, costs: &Cos
     }
 }
 
-// --- section 4: seam-measured micro costs ----------------------------------
+// --- section 5: seam-measured micro costs ----------------------------------
 
 fn micro_section(manifest: &mut RunManifest, exec: &ParallelExecutor, costs: &CostModel) {
     println!("== seam-measured fence costs (cross-check, not solver weights) ==");
@@ -371,6 +367,7 @@ fn main() -> ExitCode {
 
     litmus_section(&mut manifest, &mut errors, &costs);
     rbd_section(&mut manifest, &mut errors, &costs);
+    dstruct_section(&mut manifest, &mut errors, &costs);
     jvm_section(&mut manifest, &mut errors, &costs);
     micro_section(&mut manifest, &exec, &costs);
 

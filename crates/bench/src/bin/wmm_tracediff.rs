@@ -11,6 +11,14 @@
 //!   the JDK8 image disappearing and the acquire/release surcharge
 //!   appearing on the access rows, with only scheduling noise left on the
 //!   pooled `:code` rows.
+//! * **Dstruct comparison** (`--campaign dstruct`): profiles the
+//!   lock-free data-structure suite under `hp-dmb` (a `dmb ish` per
+//!   hazard protect) and `hp-asym` (reader-free scheme) and diffs them.
+//!   The images are identical — only the fences lowered at the
+//!   reclamation sites move — so the attribution metric here is the
+//!   *fence-stall share*: the fraction of the absolute per-site
+//!   fence-stall delta carried by the `HpProtect` rows whose fences the
+//!   asymmetric scheme removed.
 //! * **Manifest mode** (`--base <m.json> --test <m.json>`): diffs the
 //!   per-site telemetry of two run manifests written by `wmm_profile`
 //!   (schema v3 with `telemetry.sites`), reporting deltas in cycles.
@@ -19,12 +27,15 @@
 //! fraction of the total absolute per-site delta carried by non-`:code`
 //! rows. For the builtin JDK8→JDK9 comparison this is the share of the
 //! delta attributed to volatile-access (and monitor/CAS barrier) sites;
-//! `--strict` (used in CI) exits non-zero below 0.90.
+//! `--strict` (used in CI) exits non-zero below 0.90 (the dstruct
+//! comparison gates its fence-stall share at the same threshold).
 //!
 //! Flags: `--quick`, `--threads N`, `--progress`, `--top N` (rows printed,
-//! default 10), `--strict`, `--base`/`--test` (manifest mode).
+//! default 10), `--strict`, `--campaign dstruct`, `--base`/`--test`
+//! (manifest mode).
 //!
-//! Builtin mode writes `results/runs/wmm_tracediff.json` for the
+//! Builtin mode writes `results/runs/wmm_tracediff.json` (and the dstruct
+//! comparison `results/runs/wmm_tracediff-dstruct.json`) for the
 //! `bench_gate` regression gate.
 
 use wmm_bench::profiling::{profile_campaign, profile_from_records};
@@ -106,6 +117,64 @@ fn main() {
     let exec = ParallelExecutor::new(cli_threads())
         .with_progress(cli_flag("--progress"))
         .with_cache(SimCache::in_memory());
+
+    // Dstruct comparison: same images, fences move from the hot protect
+    // sites (hp-dmb) to the rare scan site (hp-asym).
+    if let Some(campaign) = cli_opt("--campaign") {
+        if campaign != "dstruct" {
+            eprintln!("unknown campaign `{campaign}` (supported: dstruct)");
+            std::process::exit(2);
+        }
+        let base = profile_campaign("dstruct-hp-dmb", cfg, &exec).expect("builtin campaign");
+        let test = profile_campaign("dstruct-hp-asym", cfg, &exec).expect("builtin campaign");
+        println!(
+            "Per-site diff — {} → {} ({} benchmarks)",
+            base.campaign,
+            test.campaign,
+            base.benches.len()
+        );
+        let diff = base.merged().diff(&test.merged());
+        print_diff(&diff, top, "ns", base.ns_per_cycle);
+
+        let wall_delta = test.total_wall_ns() - base.total_wall_ns();
+        // Gate on the fence-stall delta: the images are identical across
+        // schemes, so the memory-timing ripple on `:code`/`chase` rows is
+        // noise — what must move is the fence cost at the protect sites.
+        let share = diff.fence_share(|r| r.name.contains(":HpProtect#"));
+        println!(
+            "wall: {:.0} ns → {:.0} ns ({:+.0} ns); per-site delta {:+.0} ns ({:.0} ns absolute)",
+            base.total_wall_ns(),
+            test.total_wall_ns(),
+            wall_delta,
+            diff.total_delta() * base.ns_per_cycle,
+            diff.abs_delta() * base.ns_per_cycle,
+        );
+        let pass = share >= 0.90;
+        println!(
+            "protect-site share of the fence-stall delta: {:.1}% (threshold 90%): {}",
+            100.0 * share,
+            if pass { "PASS" } else { "FAIL" }
+        );
+
+        let mut manifest = RunManifest::new("wmm_tracediff-dstruct", "arm");
+        manifest.push_cell("dstruct-hp-dmb/wall_ns", base.total_wall_ns());
+        manifest.push_cell("dstruct-hp-asym/wall_ns", test.total_wall_ns());
+        manifest.push_cell("wall_delta_ns", wall_delta);
+        manifest.push_cell("protect_fence_share", share);
+        manifest.push_cell("abs_delta_cycles", diff.abs_delta());
+        for r in diff.top(top) {
+            manifest.push_cell(format!("delta_cycles/{}", r.name), r.delta_cycles);
+        }
+        manifest.telemetry = Some(exec.telemetry());
+        let manifest_path = manifest.write(runs_dir()).expect("write manifest");
+        println!("wrote {}", manifest_path.display());
+        println!("[wmm-harness] {}", exec.summary());
+        if strict && !pass {
+            std::process::exit(1);
+        }
+        return;
+    }
+
     let base = profile_campaign("jdk8-arm", cfg, &exec).expect("builtin campaign");
     let test = profile_campaign("jdk9-arm", cfg, &exec).expect("builtin campaign");
     println!(

@@ -25,7 +25,9 @@ use wmmbench::exec::{Executor, SerialExecutor, SimJob};
 use wmmbench::image::{compute_envelope, Injection, SiteRewriter};
 use wmmbench::model::{estimate_cost, SensitivityFit};
 use wmmbench::ranking::{ranking_matrix_with, RankingMatrix};
-use wmmbench::runner::{measure, measure_relative, measurement_jobs, BenchSpec, RunConfig};
+use wmmbench::runner::{
+    measure, measure_relative, measure_relative_with, measurement_jobs, BenchSpec, RunConfig,
+};
 use wmmbench::sensitivity::{pow2_targets, sweep, sweep_with, SweepResult, SweepTarget};
 use wmmbench::strategy::{FencingStrategy, FnStrategy};
 
@@ -1078,6 +1080,115 @@ pub fn fig9_fence_attribution(cfg: ExpConfig, exec: &dyn Executor) -> Attributio
             .push((format!("fig9-kernel/{}", bench.name()), fit));
     }
     report
+}
+
+// ---------------------------------------------------------------------------
+// The dstruct campaign: reclamation-scheme sensitivity and ranking
+// ---------------------------------------------------------------------------
+
+/// Envelope for dstruct experiments: covers all four reclamation-scheme
+/// strategies plus the (stack-spilling) cost function, so NR/EBR/HP images
+/// are size-identical and the comparison is fence cost alone.
+pub fn dstruct_envelope() -> HashMap<wmm_dstruct::DSite, u64> {
+    let paths: Vec<wmm_dstruct::DSite> = wmm_dstruct::DSite::ALL.to_vec();
+    let strategies = wmm_dstruct::scheme_strategies();
+    let refs: Vec<&dyn FencingStrategy<wmm_dstruct::DSite>> = strategies
+        .iter()
+        .map(|s| s as &dyn FencingStrategy<wmm_dstruct::DSite>)
+        .collect();
+    let extra = CostFunction {
+        iters: 1,
+        stack_spill: true,
+    }
+    .size();
+    compute_envelope(&paths, &refs, extra)
+}
+
+/// fig_dstruct part 1: sensitivity of each data-structure benchmark to the
+/// hazard-protect code path (the hottest reclamation site) under the
+/// classic `hp-dmb` scheme.
+pub fn fig_dstruct_sweeps_with(cfg: ExpConfig, exec: &dyn Executor) -> Vec<SweepResult> {
+    let m = machine(Arch::ArmV8);
+    let strategy = wmm_dstruct::hp_dmb_strategy();
+    let cal = Calibration::measure(&m, true, 12);
+    let env = dstruct_envelope();
+    wmm_dstruct::dstruct_suite(cfg.scale)
+        .iter()
+        .map(|bench| {
+            sweep_with(
+                &m,
+                bench,
+                &strategy,
+                SweepTarget::Path(wmm_dstruct::DSite::HpProtect),
+                &cal,
+                &pow2_targets(0, 8),
+                env.clone(),
+                cfg.run,
+                exec,
+            )
+        })
+        .collect()
+}
+
+/// fig_dstruct part 2: each reclamation scheme's relative performance
+/// against the NR (no reclamation) baseline on every benchmark. Ratio < 1
+/// means the scheme is slower than the unsafe baseline; the interesting
+/// order is among the safe schemes — on protect-dense workloads `hp-dmb`
+/// must lose to the amortising (`ebr`) and asymmetric (`hp-asym`) schemes.
+pub fn dstruct_ranking_with(cfg: ExpConfig, exec: &dyn Executor) -> SchemeRanking {
+    let m = machine(Arch::ArmV8);
+    let env = dstruct_envelope();
+    let base = wmm_dstruct::nr_strategy();
+    let base_rw = SiteRewriter::new(&base, Injection::None, env.clone());
+    let suite = wmm_dstruct::dstruct_suite(cfg.scale);
+    wmm_dstruct::scheme_strategies()
+        .iter()
+        .filter(|s| s.name() != "nr")
+        .map(|scheme| {
+            let rw = SiteRewriter::new(scheme, Injection::None, env.clone());
+            let deltas = suite
+                .iter()
+                .map(|bench| StrategyDelta {
+                    bench: bench.name().to_string(),
+                    cmp: measure_relative_with(&m, bench, &base_rw, &rw, cfg.run, exec),
+                })
+                .collect();
+            (scheme.name().to_string(), deltas)
+        })
+        .collect()
+}
+
+/// Per-scheme ranking rows: `(scheme_name, per-benchmark deltas vs nr)`.
+pub type SchemeRanking = Vec<(String, Vec<StrategyDelta>)>;
+
+/// The whole fig_dstruct campaign — protect-path sweeps plus the scheme
+/// ranking — folded into one schema-gated manifest. Shared by the
+/// `fig_dstruct` binary and the determinism tests so both see byte-for-byte
+/// the same canonical content.
+pub fn fig_dstruct_manifest_with(
+    cfg: ExpConfig,
+    exec: &dyn Executor,
+) -> (wmm_harness::RunManifest, Vec<SweepResult>, SchemeRanking) {
+    let mut manifest = wmm_harness::RunManifest::new("fig_dstruct", "arm");
+    let sweeps = fig_dstruct_sweeps_with(cfg, exec);
+    for s in &sweeps {
+        if let Some(fit) = &s.fit {
+            manifest.push_fit(&s.benchmark, fit);
+        }
+        for p in &s.points {
+            // Label by the requested target, not the calibrated actual:
+            // neighbouring small targets can calibrate to the same actual
+            // ns and the gate rejects duplicate labels.
+            manifest.push_cell(format!("{}/t={:.0}", s.benchmark, p.target_ns), p.rel_perf);
+        }
+    }
+    let ranking = dstruct_ranking_with(cfg, exec);
+    for (scheme, deltas) in &ranking {
+        for d in deltas {
+            manifest.push_cell(format!("rank/{}/{scheme}", d.bench), d.cmp.ratio);
+        }
+    }
+    (manifest, sweeps, ranking)
 }
 
 #[cfg(test)]

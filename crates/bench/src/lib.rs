@@ -23,11 +23,19 @@
 //! | fence synthesis | `wmm_analyze::synthesize` + dual validation | `fence_synth` |
 //! | per-site profiles | [`profiling::profile_campaign`] | `wmm_profile` |
 //! | cross-JIT site diff | [`profiling`] + `wmm_obs::Profile::diff` | `wmm_tracediff` |
+//! | reclamation schemes | [`experiments::fig_dstruct_manifest_with`] | `fig_dstruct` |
+//!
+//! The [`streams`] module is the shared stream-ingestion path for the
+//! static checkers: platform instruction streams go through one
+//! [`streams::audit_streams`] / [`streams::synth_stream_case`] funnel, so
+//! `fence_lint` and `fence_synth` need no per-platform glue beyond the
+//! idiom builders themselves.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod profiling;
+pub mod streams;
 
 pub use experiments::*;

@@ -35,7 +35,9 @@ use wmmbench::image::{Injection, SiteMap, SiteRewriter};
 use wmmbench::runner::{measurement_jobs_sited, BenchSpec, RunConfig};
 use wmmbench::strategy::{FencingStrategy, FnStrategy};
 
-use crate::experiments::{jvm_base_strategy, jvm_envelope, kernel_envelope, machine, ExpConfig};
+use crate::experiments::{
+    dstruct_envelope, jvm_base_strategy, jvm_envelope, kernel_envelope, machine, ExpConfig,
+};
 
 /// One sited measurement batch: sample wall times, the aggregated per-kind
 /// simulator statistics, and the per-site profile folded over the same
@@ -267,7 +269,14 @@ pub fn kind_checks(cp: &CampaignProfile) -> Vec<KindCheck> {
 }
 
 /// The campaign ids [`profile_campaign`] accepts.
-pub const PROFILE_CAMPAIGNS: [&str; 4] = ["fig5-arm", "fig9-kernel", "jdk8-arm", "jdk9-arm"];
+pub const PROFILE_CAMPAIGNS: [&str; 6] = [
+    "fig5-arm",
+    "fig9-kernel",
+    "jdk8-arm",
+    "jdk9-arm",
+    "dstruct-hp-dmb",
+    "dstruct-hp-asym",
+];
 
 /// Profile a campaign by id:
 ///
@@ -280,6 +289,11 @@ pub const PROFILE_CAMPAIGNS: [&str; 4] = ["fig5-arm", "fig9-kernel", "jdk8-arm",
 ///   `arm-jdk8-barriers` strategy over JDK8 (barrier sites) vs JDK9
 ///   (`ldar`/`stlr`, no volatile sites) images; diffing them attributes
 ///   the JDK8→JDK9 wall delta to the barrier sites that disappeared.
+/// * `dstruct-hp-dmb` / `dstruct-hp-asym` — the reclamation comparison
+///   sides: the same data-structure workloads under classic hazard
+///   pointers (a `dmb ish` at every protect site) vs the asymmetric
+///   scheme (readers free, the rare scan priced heavily); diffing them
+///   attributes the scheme delta to the protect sites that went quiet.
 pub fn profile_campaign(
     name: &str,
     cfg: ExpConfig,
@@ -290,6 +304,8 @@ pub fn profile_campaign(
         "fig9-kernel" => Some(profile_fig9_kernel(cfg, exec)),
         "jdk8-arm" => Some(profile_jdk8_arm(cfg, exec)),
         "jdk9-arm" => Some(profile_jdk9_arm(cfg, exec)),
+        "dstruct-hp-dmb" => Some(profile_dstruct(cfg, exec, "dstruct-hp-dmb")),
+        "dstruct-hp-asym" => Some(profile_dstruct(cfg, exec, "dstruct-hp-asym")),
         _ => None,
     }
 }
@@ -374,6 +390,38 @@ pub fn profile_fig9_kernel(cfg: ExpConfig, exec: &dyn Executor) -> CampaignProfi
     }
 }
 
+/// The data-structure workloads under one hazard-pointer scheme, profiled
+/// per reclamation site. `campaign` selects the scheme: `dstruct-hp-dmb`
+/// (classic, per-protect fence) or `dstruct-hp-asym` (asymmetric,
+/// scan-priced).
+pub fn profile_dstruct(
+    cfg: ExpConfig,
+    exec: &dyn Executor,
+    campaign: &'static str,
+) -> CampaignProfile {
+    let m = machine(Arch::ArmV8);
+    let env = dstruct_envelope();
+    let strat = if campaign == "dstruct-hp-asym" {
+        wmm_dstruct::hp_asym_strategy()
+    } else {
+        wmm_dstruct::hp_dmb_strategy()
+    };
+    let mut benches = vec![];
+    for bench in wmm_dstruct::dstruct_suite(cfg.scale) {
+        let rw = SiteRewriter::new(&strat, Injection::None, env.clone());
+        benches.push(BenchProfile {
+            bench: bench.name().to_string(),
+            batch: batch_with_profile(&m, &bench, &rw, cfg.run, exec),
+        });
+    }
+    CampaignProfile {
+        campaign,
+        arch: "arm",
+        ns_per_cycle: m.spec().ns(1.0),
+        benches,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -425,6 +473,23 @@ mod tests {
                 "{name}"
             );
         }
+    }
+
+    #[test]
+    fn hp_dmb_vs_hp_asym_delta_lands_on_protect_sites() {
+        let cfg = ExpConfig::quick();
+        let base = profile_dstruct(cfg, &SerialExecutor, "dstruct-hp-dmb");
+        let test = profile_dstruct(cfg, &SerialExecutor, "dstruct-hp-asym");
+        let diff = base.merged().diff(&test.merged());
+        assert!(diff.abs_delta() > 0.0, "schemes must differ");
+        // Whole-wall share is diluted by memory-timing ripple on code and
+        // chase rows; the scheme change itself moves fence cost, so that is
+        // what gets attributed.
+        let share = diff.fence_share(|r| r.name.contains(":HpProtect#"));
+        assert!(
+            share >= 0.90,
+            "protect sites must carry ≥90% of the fence-stall delta, got {share:.3}"
+        );
     }
 
     #[test]

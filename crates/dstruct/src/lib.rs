@@ -1,0 +1,51 @@
+//! # wmm-dstruct
+//!
+//! A lock-free **data-structure platform**: concurrent structures with safe
+//! memory reclamation as the third strategy-site platform of the
+//! *Benchmarking Weak Memory Models* reproduction (after the JVM volatiles
+//! of §4.2 and the kernel macros of §4.3).
+//!
+//! Hazard pointers pay a fence per protected read; epoch-based reclamation
+//! amortises its barriers over whole operations; asymmetric (membarrier
+//! style) hazard pointers move the cost from every reader onto the rare
+//! reclaimer scan. Which scheme wins is exactly an Eq. 1/Eq. 2 question —
+//! how often each fence site executes times what the fence costs there —
+//! so the platform lowers every protect, retire, scan and epoch site to a
+//! named [`wmmbench::image::Segment::Site`] and lets the existing
+//! methodology (sensitivity sweeps, strategy ranking, static analysis,
+//! fence synthesis, per-site profiling) answer it.
+//!
+//! * [`sites`] — the reclamation code paths ([`DSite`]) and the four
+//!   scheme strategies: `nr` (no reclamation, every site free), `ebr`
+//!   (fences at epoch boundaries), `hp-dmb` (`dmb ish` per protect) and
+//!   `hp-asym` (readers free, reclaimer scan priced with a heavy
+//!   membarrier-style sequence);
+//! * [`ops`] — Treiber stack and Harris-Michael list operations as segment
+//!   generators emitting those sites at realistic densities (pointer-chase
+//!   loads are labeled so profiles join on stable rows);
+//! * [`retire`] — the hazard-publication/retire-scan idiom (an SB-shaped
+//!   race between a reader announcing a hazard and a reclaimer scanning
+//!   for it), the bridge mapping a synthesized fence placement back onto
+//!   the protect/scan sites, and the use-after-retire litmus shapes the
+//!   explorer checks;
+//! * [`workload`] — whole benchmarks composing the operations into
+//!   stack-churn, list-search and list-update mixes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ops;
+pub mod retire;
+pub mod sites;
+pub mod workload;
+
+pub use ops::DstructOp;
+pub use retire::{
+    bare_reclaim, ebr_reclaim_idiom, ebr_use_after_retire, hp_reclaim_idiom, hp_use_after_retire,
+    strategy_from_placement, use_after_retire,
+};
+pub use sites::{
+    ebr_strategy, hp_asym_strategy, hp_dmb_strategy, nr_strategy, scheme_strategies, DSite,
+    DstructStrategy,
+};
+pub use workload::{dstruct_profile, dstruct_profiles, dstruct_suite, DstructBench};

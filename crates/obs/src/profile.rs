@@ -238,6 +238,29 @@ impl ProfileDiff {
             / total
     }
 
+    /// Fraction of the absolute *fence-stall* delta attributed to rows
+    /// matching `pred` (0 when no fence cost moved). Where [`share`]
+    /// attributes the whole wall delta — including memory-timing ripple a
+    /// fencing change causes downstream — this isolates the fence cost the
+    /// change moved directly: the right gate when comparing two fencing
+    /// schemes over the same images (e.g. classic vs asymmetric hazard
+    /// pointers, where the protect sites shed a `dmb` each and the rare
+    /// scan picks up a heavy sequence).
+    ///
+    /// [`share`]: ProfileDiff::share
+    pub fn fence_share(&self, pred: impl Fn(&SiteDelta) -> bool) -> f64 {
+        let total: f64 = self.rows.iter().map(|r| r.fence_delta.abs()).sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.rows
+            .iter()
+            .filter(|r| pred(r))
+            .map(|r| r.fence_delta.abs())
+            .sum::<f64>()
+            / total
+    }
+
     /// The `n` rows with the largest absolute deltas.
     pub fn top(&self, n: usize) -> &[SiteDelta] {
         &self.rows[..n.min(self.rows.len())]

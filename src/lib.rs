@@ -16,6 +16,8 @@
 //!   fencing strategies).
 //! * [`wmm_kernel`] — Linux-kernel-like platform (barrier macros,
 //!   `read_barrier_depends` strategies).
+//! * [`wmm_dstruct`] — lock-free data-structure platform (Treiber stack,
+//!   Harris-Michael list) under NR/EBR/HP reclamation schemes.
 //! * [`wmm_workloads`] — DaCapo-, Spark- and kernel-suite-like workloads.
 //! * [`wmm_harness`] — parallel experiment engine: deterministic
 //!   scheduler, result cache, run manifests and the regression gate.
@@ -25,6 +27,7 @@
 
 pub use wmm_analyze;
 pub use wmm_bench;
+pub use wmm_dstruct;
 pub use wmm_harness;
 pub use wmm_jvm;
 pub use wmm_kernel;

@@ -1,0 +1,69 @@
+//! Integration tests for the data-structure reclamation campaign: the
+//! `fig_dstruct` manifest must be byte-identical whatever the worker
+//! count, across reruns, and its ranking must be non-trivial (the scheme
+//! order is a measured result, not an artifact of the harness).
+
+use wmm::wmm_bench::{fig_dstruct_manifest_with, ExpConfig};
+use wmm::wmm_harness::ParallelExecutor;
+use wmm::wmmbench::exec::{Executor, SerialExecutor};
+
+/// The campaign's gate-inspected manifest text through `exec`.
+fn manifest_text(exec: &dyn Executor) -> String {
+    let (manifest, sweeps, ranking) = fig_dstruct_manifest_with(ExpConfig::quick(), exec);
+    assert!(!sweeps.is_empty(), "campaign must sweep every benchmark");
+    assert_eq!(ranking.len(), 3, "ebr, hp-dmb, hp-asym vs the nr baseline");
+    manifest.canonical_json().to_string_pretty()
+}
+
+#[test]
+fn fig_dstruct_manifest_identical_across_thread_counts_and_reruns() {
+    // The headline harness contract extends to the dstruct campaign: the
+    // canonical manifest CI gates against a committed baseline is
+    // byte-identical whether the campaign ran serially, on one worker, or
+    // on four, and across reruns of the same executor.
+    let reference = manifest_text(&SerialExecutor);
+    for threads in [1, 4] {
+        let exec = ParallelExecutor::new(Some(threads));
+        assert_eq!(manifest_text(&exec), reference, "threads = {threads}");
+        assert_eq!(
+            manifest_text(&exec),
+            reference,
+            "rerun, threads = {threads}"
+        );
+    }
+}
+
+#[test]
+fn fig_dstruct_ranking_is_nontrivial() {
+    // Somewhere in the suite an amortising scheme must beat the
+    // per-protect fence, and the unsafe baseline must not lose to any
+    // scheme by an implausible margin — both are Eq. 1 predictions, and
+    // both are what the fig_dstruct binary's exit code asserts in CI.
+    let (_, _, ranking) = fig_dstruct_manifest_with(ExpConfig::quick(), &SerialExecutor);
+    let ratio = |scheme: &str, bench: &str| {
+        ranking
+            .iter()
+            .find(|(s, _)| s == scheme)
+            .and_then(|(_, ds)| ds.iter().find(|d| d.bench == bench))
+            .map(|d| d.cmp.ratio)
+            .expect("every scheme ranks every benchmark")
+    };
+    let benches: Vec<String> = ranking[0].1.iter().map(|d| d.bench.clone()).collect();
+    assert!(
+        benches.iter().any(|b| {
+            let dmb = ratio("hp-dmb", b);
+            ratio("hp-asym", b) > dmb || ratio("ebr", b) > dmb
+        }),
+        "an amortising scheme must beat hp-dmb somewhere"
+    );
+    for (scheme, deltas) in &ranking {
+        for d in deltas {
+            assert!(
+                d.cmp.ratio > 0.5 && d.cmp.ratio < 1.05,
+                "{scheme}/{}: ratio {} outside plausible range",
+                d.bench,
+                d.cmp.ratio
+            );
+        }
+    }
+}
