@@ -28,6 +28,10 @@
 //!    model, find the cheapest instrument placement (fences,
 //!    acquire/release upgrades, artificial dependencies) protecting every
 //!    critical cycle, priced by the paper's Eq. 1/Eq. 2 cost model.
+//! 6. [`gen::generate_all`] runs the cycle vocabulary in reverse,
+//!    diy-style: enumerate critical-cycle shapes and decorate them with
+//!    each architecture's ordering vocabulary, emitting thousands of
+//!    well-formed litmus tests for the `axiom_diff` differential harness.
 
 #![warn(clippy::pedantic)]
 // Pedantic relaxations, each with a reason:
@@ -40,12 +44,14 @@
 
 pub mod check;
 pub mod cycles;
+pub mod gen;
 pub mod graph;
 pub mod report;
 pub mod synth;
 
 pub use check::{check_cycle, check_cycle_without, CycleCheck};
 pub use cycles::{critical_cycles, CommKind, CriticalCycle};
+pub use gen::{differential_corpus, generate, generate_all, GenArch, GenConfig};
 pub use graph::{Access, FenceNode, ProgramGraph, StreamDep};
 pub use report::{analyze, Analysis, DowngradableFence, RedundantFence, UnprotectedCycle};
 pub use synth::{

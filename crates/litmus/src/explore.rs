@@ -58,6 +58,30 @@ impl OutcomeSet {
             .any(|(f, _)| outcome.iter().all(|&(t, r, v)| f[t][r] == v))
     }
 
+    /// Iterate over the final `(registers, memory)` states in unspecified
+    /// order. For deterministic consumption use [`OutcomeSet::sorted`].
+    pub fn iter(&self) -> impl Iterator<Item = &(Vec<Vec<u32>>, Vec<u32>)> {
+        self.finals.iter()
+    }
+
+    /// The final states in a canonical (lexicographic) order — the stable
+    /// view used for manifests, witness extraction and cross-oracle
+    /// comparison, so no caller needs to re-run `explore` just to walk the
+    /// same outcome set deterministically.
+    #[must_use]
+    pub fn sorted(&self) -> Vec<&(Vec<Vec<u32>>, Vec<u32>)> {
+        let mut v: Vec<_> = self.finals.iter().collect();
+        v.sort();
+        v
+    }
+
+    /// The final states as an owned ordered set, for set-algebra against
+    /// another oracle (equality, inclusion).
+    #[must_use]
+    pub fn canonical(&self) -> std::collections::BTreeSet<(Vec<Vec<u32>>, Vec<u32>)> {
+        self.finals.iter().cloned().collect()
+    }
+
     /// Is the combined register + final-memory assertion reachable?
     /// `memory` entries are `(var, value)` conjuncts — the classic
     /// final-state conditions of the S, R and 2+2W shapes.
@@ -81,6 +105,77 @@ impl OutcomeSet {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.finals.is_empty()
+    }
+}
+
+/// Memoising front-end for [`explore`]: callers that query the same test
+/// under the same model repeatedly (suite sweeps, differential audits, the
+/// `allows`-per-question pattern in `crates/bench`) share one exploration
+/// instead of re-running the state-space search per query.
+///
+/// Keys are *structural* — two tests with identical threads, dependencies
+/// and memory conjuncts share an entry even if their names differ — and
+/// results are handed out as [`std::sync::Arc`] clones, so a cached outcome
+/// set can be kept across further cache use or shipped to another thread.
+#[derive(Default)]
+pub struct ExploreCache {
+    map: std::collections::HashMap<(String, ModelKind), std::sync::Arc<OutcomeSet>>,
+    hits: usize,
+    misses: usize,
+}
+
+impl ExploreCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Structural identity of a test: everything that determines the
+    /// outcome set (name excluded on purpose).
+    fn key(test: &LitmusTest, model: ModelKind) -> (String, ModelKind) {
+        (
+            format!("{:?}|{:?}|{:?}", test.threads, test.store_deps, test.memory),
+            model,
+        )
+    }
+
+    /// The outcome set of `test` under `model`, exploring at most once per
+    /// structural key.
+    pub fn outcomes(&mut self, test: &LitmusTest, model: ModelKind) -> std::sync::Arc<OutcomeSet> {
+        let key = Self::key(test, model);
+        if let Some(hit) = self.map.get(&key) {
+            self.hits += 1;
+            return std::sync::Arc::clone(hit);
+        }
+        self.misses += 1;
+        let out = std::sync::Arc::new(explore(test, model));
+        self.map.insert(key, std::sync::Arc::clone(&out));
+        out
+    }
+
+    /// Cache hits served so far.
+    #[must_use]
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Explorations actually run (cache misses).
+    #[must_use]
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Number of cached outcome sets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing has been cached yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
     }
 }
 

@@ -42,11 +42,14 @@
 #![warn(missing_docs)]
 
 pub mod explore;
+#[warn(clippy::pedantic)]
+pub mod lint;
 pub mod ops;
 #[warn(clippy::pedantic)]
 pub mod rewrite;
 pub mod suite;
 
-pub use explore::{explore, OutcomeSet};
+pub use explore::{explore, ExploreCache, OutcomeSet};
+pub use lint::{lint_corpus, lint_test, LintIssue};
 pub use ops::{DepKind, FClass, LOp, LitmusTest, ModelKind, Outcome};
 pub use rewrite::Reinforce;

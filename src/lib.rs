@@ -9,7 +9,11 @@
 //! * [`wmm_sim`] — deterministic timing simulator of weak-memory multicores.
 //! * [`wmm_litmus`] — operational semantics explorer and litmus suite.
 //! * [`wmm_analyze`] — static fence-placement analysis: Shasha–Snir
-//!   critical cycles, per-model protection checks, redundant-fence lints.
+//!   critical cycles, per-model protection checks, redundant-fence lints,
+//!   diy-style litmus-test generation.
+//! * [`wmm_axiom`] — axiomatic second oracle: candidate executions judged
+//!   by relational acyclicity axioms, differentially tested against the
+//!   operational explorer.
 //! * [`wmmbench`] — the paper's methodology: cost functions, injection,
 //!   sensitivity modelling, cost estimation and rankings.
 //! * [`wmm_jvm`] — Hotspot-like platform (elemental barriers, JDK8/9
@@ -26,6 +30,7 @@
 //! * [`wmm_bench`] — experiment drivers regenerating every paper artefact.
 
 pub use wmm_analyze;
+pub use wmm_axiom;
 pub use wmm_bench;
 pub use wmm_dstruct;
 pub use wmm_harness;
