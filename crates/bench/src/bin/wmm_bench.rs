@@ -1,0 +1,182 @@
+//! `wmm_bench` — end-to-end simulator throughput benchmark and perf gate.
+//!
+//! Measures the wall time of full cold-cache experiment campaigns (the
+//! fig. 5 OpenJDK sweeps on both architectures), reporting per-campaign
+//! p50/p95/p99 iteration times and best-iteration throughput in jobs per
+//! second, plus a determinism checksum over the scientific results of every
+//! iteration. The committed report at `BENCH_wmm.json` records the perf
+//! trajectory; `--gate` re-measures and fails on structural drift (wrong
+//! mode, job counts, or — most importantly — results checksum) or on
+//! throughput outside a tolerance factor of the committed numbers.
+//!
+//! ```text
+//! wmm_bench [--quick|--full] [--iters N] [--warmup N] [--threads N]
+//!           [--out PATH]                 write a fresh report (default BENCH_wmm.json)
+//!           [--reference PATH --ref-label S]
+//!                                        embed a prior build's report as the reference
+//!           [--emit-from PATH]           skip measuring; re-emit PATH (for attaching
+//!                                        a reference to an existing report)
+//!           [--gate PATH [--tol F]]      measure and compare against PATH (default tol 3.0)
+//! ```
+//!
+//! Exit status: 0 on success / gate pass, 1 on gate failure, 2 on usage or
+//! I/O errors.
+use std::process::ExitCode;
+
+use wmm_bench::perf::{
+    attach_reference, gate, report_json, run_campaigns, BenchOptions, Reference, BENCH_FILE,
+};
+use wmmbench::json::Json;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: wmm_bench [--quick|--full] [--iters N] [--warmup N] [--threads N] \
+         [--out PATH] [--reference PATH --ref-label S] [--emit-from PATH] \
+         [--gate PATH [--tol F]]"
+    );
+    ExitCode::from(2)
+}
+
+fn load_json(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let mut opts = BenchOptions::new(true);
+    let mut out = BENCH_FILE.to_string();
+    let mut gate_path: Option<String> = None;
+    let mut reference: Option<String> = None;
+    let mut ref_label = "reference".to_string();
+    let mut emit_from: Option<String> = None;
+    let mut tol = 3.0;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| args.next().ok_or_else(|| format!("{what} needs a value"));
+        match arg.as_str() {
+            "--quick" => opts = BenchOptions::new(true),
+            "--full" => opts = BenchOptions::new(false),
+            "--iters" => match value("--iters").map(|v| v.parse()) {
+                Ok(Ok(n)) => opts.iters = n,
+                _ => return usage(),
+            },
+            "--warmup" => match value("--warmup").map(|v| v.parse()) {
+                Ok(Ok(n)) => opts.warmup = n,
+                _ => return usage(),
+            },
+            "--threads" => match value("--threads").map(|v| v.parse()) {
+                Ok(Ok(n)) => opts.threads = Some(n),
+                _ => return usage(),
+            },
+            "--tol" => match value("--tol").map(|v| v.parse()) {
+                Ok(Ok(t)) => tol = t,
+                _ => return usage(),
+            },
+            "--out" => match value("--out") {
+                Ok(p) => out = p,
+                Err(_) => return usage(),
+            },
+            "--gate" => match value("--gate") {
+                Ok(p) => gate_path = Some(p),
+                Err(_) => return usage(),
+            },
+            "--reference" => match value("--reference") {
+                Ok(p) => reference = Some(p),
+                Err(_) => return usage(),
+            },
+            "--ref-label" => match value("--ref-label") {
+                Ok(s) => ref_label = s,
+                Err(_) => return usage(),
+            },
+            "--emit-from" => match value("--emit-from") {
+                Ok(p) => emit_from = Some(p),
+                Err(_) => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    // Re-emit mode: no measurement, just attach/refresh the reference.
+    if let Some(src) = emit_from {
+        let mut report = match load_json(&src) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("wmm_bench: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Some(ref_path) = reference {
+            let attached = load_json(&ref_path)
+                .and_then(|r| Reference::from_report(&r, &ref_label))
+                .and_then(|r| attach_reference(&mut report, &r));
+            if let Err(e) = attached {
+                eprintln!("wmm_bench: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        if let Err(e) = std::fs::write(&out, report.to_string_pretty() + "\n") {
+            eprintln!("wmm_bench: {out}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("wmm_bench: wrote {out}");
+        return ExitCode::SUCCESS;
+    }
+
+    let campaigns = run_campaigns(&opts, |line| eprintln!("[wmm_bench] {line}"));
+
+    if let Some(path) = gate_path {
+        let committed = match load_json(&path) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("wmm_bench: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let violations = gate(&committed, &opts, &campaigns, tol);
+        for c in &campaigns {
+            println!(
+                "wmm_bench: {}: best {:.1} ms, {:.1} jobs/s (p50 {:.1} ms)",
+                c.name,
+                c.best_ms(),
+                c.jobs_per_sec_best(),
+                c.percentile_ms(50.0)
+            );
+        }
+        return if violations.is_empty() {
+            println!("wmm_bench: PASS — within tolerance {tol:.1} of {path}");
+            ExitCode::SUCCESS
+        } else {
+            for v in &violations {
+                eprintln!("wmm_bench: FAIL — {v}");
+            }
+            ExitCode::from(1)
+        };
+    }
+
+    let mut report = report_json(&opts, &campaigns);
+    if let Some(ref_path) = reference {
+        let attached = load_json(&ref_path)
+            .and_then(|r| Reference::from_report(&r, &ref_label))
+            .and_then(|r| attach_reference(&mut report, &r));
+        if let Err(e) = attached {
+            eprintln!("wmm_bench: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if let Err(e) = std::fs::write(&out, report.to_string_pretty() + "\n") {
+        eprintln!("wmm_bench: {out}: {e}");
+        return ExitCode::from(2);
+    }
+    for c in &campaigns {
+        println!(
+            "wmm_bench: {}: best {:.1} ms, {:.1} jobs/s (p50 {:.1} ms, p99 {:.1} ms)",
+            c.name,
+            c.best_ms(),
+            c.jobs_per_sec_best(),
+            c.percentile_ms(50.0),
+            c.percentile_ms(99.0)
+        );
+    }
+    println!("wmm_bench: wrote {out}");
+    ExitCode::SUCCESS
+}

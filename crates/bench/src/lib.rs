@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod perf;
 pub mod profiling;
 pub mod streams;
 

@@ -30,7 +30,7 @@
 //! (freshly simulated) jobs. [`Executor::run_batch`] is the scalar
 //! projection every measurement path uses.
 
-use wmm_sim::machine::{Program, WorkloadCtx};
+use wmm_sim::machine::{MachineScratch, Program, WorkloadCtx};
 use wmm_sim::stats::ExecStats;
 use wmm_sim::Machine;
 
@@ -64,10 +64,19 @@ impl SimJob<'_> {
     /// Run this job to completion, returning the full execution statistics
     /// (wall time, per-core cycles, event counters, fence stall cycles).
     pub fn run_stats(&self) -> ExecStats {
+        self.run_stats_with(&mut MachineScratch::new())
+    }
+
+    /// [`SimJob::run_stats`] reusing a [`MachineScratch`] arena across jobs
+    /// — the executor hot path. Results are bit-identical to
+    /// [`SimJob::run_stats`]; only the per-run allocations disappear.
+    pub fn run_stats_with(&self, scratch: &mut MachineScratch) -> ExecStats {
         if self.sited {
-            self.machine.run_sited(&self.program, &self.ctx, self.seed)
+            self.machine
+                .run_sited_with(&self.program, &self.ctx, self.seed, scratch)
         } else {
-            self.machine.run(&self.program, &self.ctx, self.seed)
+            self.machine
+                .run_with(&self.program, &self.ctx, self.seed, scratch)
         }
     }
 }
@@ -125,8 +134,11 @@ pub struct SerialExecutor;
 
 impl Executor for SerialExecutor {
     fn run_batch_stats(&self, jobs: Vec<SimJob<'_>>) -> Vec<JobOutcome> {
+        // One scratch arena serves the whole batch: per-run state is reset
+        // in place instead of reallocated per job.
+        let mut scratch = MachineScratch::new();
         jobs.iter()
-            .map(|j| JobOutcome::observed(j.run_stats()))
+            .map(|j| JobOutcome::observed(j.run_stats_with(&mut scratch)))
             .collect()
     }
 }

@@ -202,18 +202,51 @@ impl<'a, P: Clone + Eq + Hash> SiteRewriter<'a, P> {
     /// produces exactly `envelope[path]` instruction words, so two programs
     /// linked from the same image with different strategies or injections
     /// have identical code layout.
+    ///
+    /// Sites of the same path lower identically, so the lowering is computed
+    /// once per distinct path and memcpy'd at every further occurrence —
+    /// images have thousands of sites over a handful of paths. The cache is
+    /// a linear-probed vec: with so few distinct paths, an `Eq` scan over
+    /// tiny `Copy`-style path enums is cheaper than hashing each site.
     pub fn link(&self, image: &Image<P>) -> Program {
+        let mut lowered: Vec<(P, Vec<Instr>)> = Vec::new();
         let threads = image
             .threads
             .iter()
             .map(|segs| {
-                let mut out = Vec::new();
+                // Sizing pre-pass: segment counts are tiny next to the
+                // instruction stream, so resolving every site first (warming
+                // the cache as a side effect) buys a single exact allocation
+                // for the linked thread.
+                let mut len = 0;
+                for seg in segs {
+                    len += match seg {
+                        Segment::Code(instrs) | Segment::Labeled(_, instrs) => instrs.len(),
+                        Segment::Site(p) => {
+                            let idx = match lowered.iter().position(|(q, _)| q == p) {
+                                Some(i) => i,
+                                None => {
+                                    lowered.push((p.clone(), self.lower_site(p)));
+                                    lowered.len() - 1
+                                }
+                            };
+                            lowered[idx].1.len()
+                        }
+                    };
+                }
+                let mut out = Vec::with_capacity(len);
                 for seg in segs {
                     match seg {
                         Segment::Code(instrs) | Segment::Labeled(_, instrs) => {
                             out.extend_from_slice(instrs)
                         }
-                        Segment::Site(p) => out.extend(self.lower_site(p)),
+                        Segment::Site(p) => {
+                            let idx = lowered
+                                .iter()
+                                .position(|(q, _)| q == p)
+                                .expect("warmed by sizing pass");
+                            out.extend_from_slice(&lowered[idx].1);
+                        }
                     }
                 }
                 out
@@ -231,6 +264,7 @@ impl<'a, P: Clone + Eq + Hash> SiteRewriter<'a, P> {
     where
         P: std::fmt::Debug,
     {
+        let mut lowered: Vec<(P, Vec<Instr>)> = Vec::new();
         let mut names: Vec<String> = Vec::new();
         let mut ids: HashMap<String, u32> = HashMap::new();
         let mut intern = |names: &mut Vec<String>, name: String| -> u32 {
@@ -293,9 +327,16 @@ impl<'a, P: Clone + Eq + Hash> SiteRewriter<'a, P> {
                         let n = occ.entry(label.clone()).or_insert(0);
                         let id = intern(&mut names, format!("t{t}:{label}#{n}"));
                         *n += 1;
-                        let seq = self.lower_site(p);
+                        let idx = match lowered.iter().position(|(q, _)| q == p) {
+                            Some(i) => i,
+                            None => {
+                                lowered.push((p.clone(), self.lower_site(p)));
+                                lowered.len() - 1
+                            }
+                        };
+                        let seq = &lowered[idx].1;
                         map.extend(std::iter::repeat_n(id, seq.len()));
-                        out.extend(seq);
+                        out.extend_from_slice(seq);
                     }
                 }
             }

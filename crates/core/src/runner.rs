@@ -88,6 +88,42 @@ impl Measurement {
     }
 }
 
+/// Generate the `cfg.warmups + cfg.samples` per-sample images of `bench`,
+/// paired with their seeds. Images depend only on `(bench, seed)`, so
+/// several rewriter configurations under comparison can be linked from one
+/// shared set instead of regenerating it per configuration — image
+/// generation dominates sweep setup otherwise.
+pub fn sample_images<P>(bench: &dyn BenchSpec<P>, cfg: RunConfig) -> Vec<(u64, Image<P>)> {
+    (0..cfg.warmups + cfg.samples)
+        .map(|i| {
+            let seed = cfg.base_seed.wrapping_add(i as u64);
+            (seed, bench.image(seed))
+        })
+        .collect()
+}
+
+/// Link pre-generated sample images (from [`sample_images`]) into
+/// simulation jobs under `rewriter`, plus the work-unit count.
+pub fn jobs_from_images<'m, P: Clone + Eq + Hash>(
+    machine: &'m Machine,
+    images: &[(u64, Image<P>)],
+    rewriter: &SiteRewriter<'_, P>,
+) -> (Vec<SimJob<'m>>, f64) {
+    let mut jobs = Vec::with_capacity(images.len());
+    let mut work_units = 1.0;
+    for (seed, image) in images {
+        work_units = image.work_units;
+        jobs.push(SimJob {
+            machine,
+            program: rewriter.link(image),
+            ctx: image.ctx.clone(),
+            seed: *seed,
+            sited: false,
+        });
+    }
+    (jobs, work_units)
+}
+
 /// The linked simulation jobs for one `(bench, rewriter, cfg)` measurement,
 /// plus its work-unit count — the batchable form of [`measure`].
 ///
@@ -99,22 +135,7 @@ pub fn measurement_jobs<'m, P: Clone + Eq + Hash>(
     rewriter: &SiteRewriter<'_, P>,
     cfg: RunConfig,
 ) -> (Vec<SimJob<'m>>, f64) {
-    let mut jobs = Vec::with_capacity(cfg.warmups + cfg.samples);
-    let mut work_units = 1.0;
-    for i in 0..(cfg.warmups + cfg.samples) {
-        let seed = cfg.base_seed.wrapping_add(i as u64);
-        let image = bench.image(seed);
-        work_units = image.work_units;
-        let program = rewriter.link(&image);
-        jobs.push(SimJob {
-            machine,
-            program,
-            ctx: image.ctx,
-            seed,
-            sited: false,
-        });
-    }
-    (jobs, work_units)
+    jobs_from_images(machine, &sample_images(bench, cfg), rewriter)
 }
 
 /// Like [`measurement_jobs`], but the jobs collect per-site stall

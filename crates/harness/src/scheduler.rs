@@ -13,11 +13,13 @@
 //! [`SimTotals`], and per-batch/per-job wall timings can be recorded as
 //! [`TraceEvent`]s for Chrome-trace export.
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 use wmm_sim::stats::ExecStats;
+use wmm_sim::MachineScratch;
 use wmmbench::exec::{Executor, JobOutcome, SimJob};
 
 use crate::artifact::{SimTotals, Telemetry, Timing};
@@ -92,6 +94,14 @@ where
     keyed.sort_by_key(|(idx, _)| *idx);
     debug_assert_eq!(keyed.len(), n);
     keyed.into_iter().map(|(_, r)| r).collect()
+}
+
+thread_local! {
+    /// Per-worker-thread simulation scratch: every job a worker claims
+    /// resets this arena in place instead of reallocating core/memory/heap
+    /// state. Results are bit-identical to fresh-state runs (see
+    /// `MachineScratch`), so reuse is invisible to the determinism contract.
+    static SIM_SCRATCH: RefCell<MachineScratch> = RefCell::new(MachineScratch::new());
 }
 
 /// Aggregate counters across every batch an executor has run.
@@ -229,28 +239,27 @@ impl Executor for ParallelExecutor {
         let n = jobs.len();
         let mut outcomes: Vec<Option<JobOutcome>> = (0..n).map(|_| None).collect();
 
-        // Resolve cache hits up front (calling thread); collect miss slots.
+        // Resolve cache hits up front; content keys hash entire programs,
+        // so they are computed on the worker pool (in submission order) and
+        // the hits then resolve on the calling thread.
         let mut misses: Vec<usize> = Vec::with_capacity(n);
         let keys: Option<Vec<u128>> = self.cache.as_ref().map(|cache| {
-            jobs.iter()
-                .enumerate()
-                .map(|(i, job)| {
-                    let key = job_key(job);
-                    // Sited jobs must surface their per-site stall map, which
-                    // the wall-time-only cache cannot answer — always
-                    // simulate them (their wall times are identical, so the
-                    // result is still stored for non-sited consumers).
-                    if job.sited {
-                        misses.push(i);
-                        return key;
-                    }
-                    match cache.get(key) {
-                        Some(t) => outcomes[i] = Some(JobOutcome::cached(t)),
-                        None => misses.push(i),
-                    }
-                    key
-                })
-                .collect()
+            let keys = run_keyed(&jobs, self.threads, job_key);
+            for (i, (job, &key)) in jobs.iter().zip(&keys).enumerate() {
+                // Sited jobs must surface their per-site stall map, which
+                // the wall-time-only cache cannot answer — always simulate
+                // them (their wall times are identical, so the result is
+                // still stored for non-sited consumers).
+                if job.sited {
+                    misses.push(i);
+                    continue;
+                }
+                match cache.get(key) {
+                    Some(t) => outcomes[i] = Some(JobOutcome::cached(t)),
+                    None => misses.push(i),
+                }
+            }
+            keys
         });
         if keys.is_none() {
             misses = (0..n).collect();
@@ -264,7 +273,7 @@ impl Executor for ParallelExecutor {
         let stats: Vec<ExecStats> = run_keyed_indexed(&misses, self.threads, |worker, &slot| {
             let ts_us = self.epoch.elapsed().as_secs_f64() * 1e6;
             let t0 = Instant::now();
-            let stats = jobs[slot].run_stats();
+            let stats = SIM_SCRATCH.with(|s| jobs[slot].run_stats_with(&mut s.borrow_mut()));
             let dur = t0.elapsed();
             sim_ns.fetch_add(dur.as_nanos() as u64, Ordering::Relaxed);
             if self.tracing {
@@ -420,6 +429,55 @@ mod tests {
         // Only the simulated jobs contribute to the totals.
         assert_eq!(t.sim.jobs_observed, 20);
         assert_eq!(t.timing.max_batch_jobs, 20);
+    }
+
+    fn sited_jobs(machine: &Machine, n: usize) -> Vec<SimJob<'_>> {
+        jobs(machine, n)
+            .into_iter()
+            .map(|mut j| {
+                j.sited = true;
+                j
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sited_jobs_simulate_even_on_warm_cache() {
+        // Regression: the cache stores wall times only, so a cache hit
+        // cannot answer a sited job's per-site stall query. Sited jobs must
+        // bypass the hit path and carry full stats even when an identical
+        // program's result is already cached.
+        let machine = Machine::new(armv8_xgene1());
+        let exec = ParallelExecutor::new(Some(2)).with_cache(SimCache::in_memory());
+        let cold = exec.run_batch_stats(jobs(&machine, 6));
+        let warm_sited = exec.run_batch_stats(sited_jobs(&machine, 6));
+        for (c, s) in cold.iter().zip(&warm_sited) {
+            let stats = s.stats.as_ref().expect("sited job simulated, not cached");
+            assert!(stats.per_site.is_some(), "sited stats carry the site map");
+            // Sited and unsited runs of the same program agree on time.
+            assert_eq!(c.wall_ns, s.wall_ns);
+        }
+        // The unsited batch populated the cache; the sited batch neither
+        // hit it nor corrupted it.
+        assert_eq!(exec.telemetry().cache_hits, 0);
+    }
+
+    #[test]
+    fn warm_cache_sited_profile_matches_cold_run() {
+        let machine = Machine::new(armv8_xgene1());
+        // Cold: sited campaign on a fresh executor.
+        let cold_exec = ParallelExecutor::new(Some(2)).with_cache(SimCache::in_memory());
+        let cold = cold_exec.run_batch_stats(sited_jobs(&machine, 5));
+        // Warm: same sited campaign after the cache saw the same programs.
+        let warm_exec = ParallelExecutor::new(Some(2)).with_cache(SimCache::in_memory());
+        warm_exec.run_batch_stats(jobs(&machine, 5));
+        let warm = warm_exec.run_batch_stats(sited_jobs(&machine, 5));
+        for (c, w) in cold.iter().zip(&warm) {
+            let (cs, ws) = (c.stats.as_ref().unwrap(), w.stats.as_ref().unwrap());
+            // Bit-identical per-site profiles: cache warmth is invisible.
+            assert_eq!(cs.per_site, ws.per_site);
+            assert_eq!(c.wall_ns, w.wall_ns);
+        }
     }
 
     #[test]

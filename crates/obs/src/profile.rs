@@ -81,13 +81,27 @@ impl Profile {
     /// should not happen for a map linked with the run's program) fall
     /// back to a positional `t{thread}:#{index}` name rather than being
     /// dropped, so cycle totals are conserved.
+    ///
+    /// Site keys are interned: a key's `String` is allocated only the first
+    /// time the site appears in the campaign; every later record (the steady
+    /// state — one per executed site instruction per run) folds through a
+    /// borrowed-`&str` lookup with no allocation.
     pub fn add_run(&mut self, sites: &[SiteStall], map: &SiteMap) {
+        let mut fallback = String::new();
         for s in sites {
-            let name = match map.name(s.thread as usize, s.index as usize) {
-                Some(n) => n.to_string(),
-                None => format!("t{}:#{}", s.thread, s.index),
+            let name: &str = match map.name(s.thread as usize, s.index as usize) {
+                Some(n) => n,
+                None => {
+                    use std::fmt::Write as _;
+                    fallback.clear();
+                    let _ = write!(fallback, "t{}:#{}", s.thread, s.index);
+                    &fallback
+                }
             };
-            self.sites.entry(name).or_default().add(s);
+            match self.sites.get_mut(name) {
+                Some(sp) => sp.add(s),
+                None => self.sites.entry(name.to_string()).or_default().add(s),
+            }
         }
     }
 

@@ -49,6 +49,14 @@ pub struct CoreState {
     pub fence_shadow: f64,
     /// Index of the next instruction to execute.
     pub pc: usize,
+    /// Precomputed `1.0 / spec.issue_width` — charged on every cheap
+    /// instruction, and an `fdiv` per step is measurable in nop-dense
+    /// streams. Halving and whole multiples of it are exact, so every cost
+    /// derived from it is bit-identical to dividing in place.
+    inv_issue: f64,
+    /// Precomputed `spec.l1_hit / spec.issue_width` (the [`Instr::StackPop`]
+    /// cost), stored as the divided value so it is bit-identical too.
+    pop_cost: f64,
 }
 
 impl CoreState {
@@ -63,7 +71,25 @@ impl CoreState {
             last_fence_retired: f64::NEG_INFINITY,
             fence_shadow: 0.0,
             pc: 0,
+            inv_issue: 1.0 / spec.issue_width,
+            pop_cost: spec.l1_hit / spec.issue_width,
         }
+    }
+
+    /// Reset to exactly the state [`CoreState::new`] produces, reusing the
+    /// store-buffer allocation. The spec is re-applied in full, so a scratch
+    /// core can move between machines (e.g. ARM and POWER jobs in one batch).
+    pub fn reset(&mut self, id: usize, spec: &ArchSpec) {
+        self.id = id;
+        self.clock = 0.0;
+        self.sbuf.reset(spec.sb_capacity);
+        self.credit = 0.0;
+        self.load_outstanding_until = 0.0;
+        self.last_fence_retired = f64::NEG_INFINITY;
+        self.fence_shadow = 0.0;
+        self.pc = 0;
+        self.inv_issue = 1.0 / spec.issue_width;
+        self.pop_cost = spec.l1_hit / spec.issue_width;
     }
 
     fn earn(&mut self, spec: &ArchSpec, amount: f64) {
@@ -106,8 +132,13 @@ impl CoreState {
     /// receives values the timing model already computed — no arithmetic is
     /// added or reordered — so the resulting state and counters are
     /// bit-identical to an unprobed step.
+    /// The probe parameter is generic so statically-known probes
+    /// monomorphize: with [`NullProbe`] every probe call compiles away
+    /// entirely, which is what keeps the unprobed hot path free of virtual
+    /// dispatch per instruction. `?Sized` keeps `&mut dyn Probe` callers
+    /// working unchanged.
     #[allow(clippy::too_many_arguments)]
-    pub fn step_probed(
+    pub fn step_probed<P: Probe + ?Sized>(
         &mut self,
         instr: &Instr,
         spec: &ArchSpec,
@@ -115,22 +146,22 @@ impl CoreState {
         mem: &mut MemSys,
         rng: &mut SplitMix64,
         counters: &mut Counters,
-        probe: &mut dyn Probe,
+        probe: &mut P,
     ) {
         match *instr {
             Instr::Nop => {
                 // Nops still occupy issue slots.
                 self.shadow_tax(spec);
-                self.clock += 1.0 / spec.issue_width / 2.0;
+                self.clock += self.inv_issue * 0.5;
             }
             Instr::MovImm | Instr::Alu | Instr::CmpImm => {
                 self.shadow_tax(spec);
-                self.clock += 1.0 / spec.issue_width;
+                self.clock += self.inv_issue;
                 self.earn(spec, spec.ooo_gain);
             }
             Instr::CondBranch(model) => {
                 self.shadow_tax(spec);
-                self.clock += 1.0 / spec.issue_width;
+                self.clock += self.inv_issue;
                 let p = match model {
                     Mispredict::Never => 0.0,
                     Mispredict::Rate(r) => r,
@@ -153,13 +184,13 @@ impl CoreState {
                 if self.sbuf.stall_cycles > stalled {
                     probe.sb_stall(self.sbuf.stall_cycles - stalled);
                 }
-                self.clock += 1.0 / spec.issue_width;
+                self.clock += self.inv_issue;
                 counters.stores += 1;
             }
             Instr::StackPop => {
                 // Reload of the freshly spilled value: forwarded from the
                 // store buffer or an L1 hit.
-                self.clock += spec.l1_hit / spec.issue_width;
+                self.clock += self.pop_cost;
                 counters.loads += 1;
             }
             Instr::Load { loc, ord } => {
@@ -203,7 +234,7 @@ impl CoreState {
                 if self.sbuf.stall_cycles > stalled {
                     probe.sb_stall(self.sbuf.stall_cycles - stalled);
                 }
-                self.clock += 1.0 / spec.issue_width;
+                self.clock += self.inv_issue;
             }
             Instr::Cas { loc, success_prob } => {
                 counters.atomics += 1;
@@ -241,13 +272,13 @@ impl CoreState {
     }
 
     /// Fence timing semantics — the heart of the model.
-    fn fence(
+    fn fence<P: Probe + ?Sized>(
         &mut self,
         kind: FenceKind,
         spec: &ArchSpec,
         ctx: &WorkloadCtx,
         counters: &mut Counters,
-        probe: &mut dyn Probe,
+        probe: &mut P,
     ) {
         counters.record_fence(kind);
         if kind == FenceKind::Compiler {

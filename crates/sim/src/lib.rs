@@ -55,11 +55,12 @@ pub mod mem;
 pub mod probe;
 pub mod rng;
 pub mod sbuf;
+pub mod sched;
 pub mod stats;
 
 pub use arch::{Arch, ArchSpec};
 pub use isa::{AccessOrd, FenceKind, Instr, Loc};
-pub use machine::{Machine, Program, WorkloadCtx};
+pub use machine::{Machine, MachineScratch, Program, WorkloadCtx};
 pub use probe::{NullProbe, Probe, SiteStallProbe};
 pub use rng::SplitMix64;
 pub use stats::{ExecStats, SiteStall};

@@ -7,32 +7,40 @@ use crate::isa::Instr;
 use crate::mem::MemSys;
 use crate::probe::{NullProbe, Probe, SiteStallProbe};
 use crate::rng::SplitMix64;
+use crate::sched::CoreHeap;
 use crate::stats::{Counters, ExecStats};
 
 /// A multithreaded program: one instruction stream per simulated thread.
 /// Threads beyond the machine's core count are rejected — the platforms and
 /// workload generators handle scheduling decisions above this layer.
+///
+/// Instruction streams are fixed at construction ([`Program::new`] is the
+/// only way to build one), which is what lets the total length be cached
+/// instead of recomputed by hot-loop callers.
 #[derive(Debug, Clone)]
 pub struct Program {
     /// One instruction stream per thread.
     pub threads: Vec<Vec<Instr>>,
+    /// Cached total instruction count (the streams are immutable).
+    len: usize,
 }
 
 impl Program {
     /// Build a program from per-thread instruction streams.
     pub fn new(threads: Vec<Vec<Instr>>) -> Self {
         assert!(!threads.is_empty(), "program needs at least one thread");
-        Program { threads }
+        let len = threads.iter().map(Vec::len).sum();
+        Program { threads, len }
     }
 
-    /// Total instruction count across threads.
+    /// Total instruction count across threads (cached at construction).
     pub fn len(&self) -> usize {
-        self.threads.iter().map(Vec::len).sum()
+        self.len
     }
 
     /// Whether the program has no instructions.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.len == 0
     }
 }
 
@@ -75,6 +83,59 @@ impl Default for WorkloadCtx {
     }
 }
 
+impl WorkloadCtx {
+    /// Check that every numeric field is finite and non-negative.
+    ///
+    /// A NaN or negative pressure/rate would poison core clocks mid-run and
+    /// detonate deep inside a batch; [`Machine::run_probed_with`] rejects
+    /// such contexts up front with the offending field named instead.
+    pub fn validate(&self) -> Result<(), String> {
+        let fields = [
+            ("bp_pressure", self.bp_pressure),
+            ("load_pressure", self.load_pressure),
+            ("l1_miss_rate", self.l1_miss_rate),
+            ("dram_frac", self.dram_frac),
+            ("noise_amp", self.noise_amp),
+        ];
+        for (field, value) in fields {
+            if !value.is_finite() || value < 0.0 {
+                return Err(format!(
+                    "workload ctx `{}`: {field} must be finite and non-negative, got {value}",
+                    self.name
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Reusable per-run simulation state: core states (including their
+/// store-buffer queues), per-core RNG streams, the memory system's line
+/// maps, and the scheduler heap.
+///
+/// `Machine::run` rebuilds all of this per run; executors that drain
+/// thousands of jobs instead keep one scratch per worker thread and call
+/// [`Machine::run_with`] / [`Machine::run_sited_with`], which reset the
+/// state in place and reuse every allocation. A scratch is freely reusable
+/// across machines and architectures — each run fully re-initialises the
+/// spec-dependent fields — and results are bit-identical to the
+/// allocate-fresh path.
+#[derive(Debug, Default)]
+pub struct MachineScratch {
+    cores: Vec<CoreState>,
+    rngs: Vec<SplitMix64>,
+    mem: MemSys,
+    heap: CoreHeap,
+}
+
+impl MachineScratch {
+    /// An empty scratch arena.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A simulated multicore machine.
 #[derive(Debug, Clone)]
 pub struct Machine {
@@ -102,14 +163,38 @@ impl Machine {
         self.run_probed(program, ctx, seed, &mut NullProbe)
     }
 
+    /// [`Machine::run`] reusing a [`MachineScratch`] arena instead of
+    /// allocating fresh per-run state — the executor hot path.
+    pub fn run_with(
+        &self,
+        program: &Program,
+        ctx: &WorkloadCtx,
+        seed: u64,
+        scratch: &mut MachineScratch,
+    ) -> ExecStats {
+        // Monomorphized over NullProbe: every probe call compiles away.
+        self.run_loop(program, ctx, seed, &mut NullProbe, scratch)
+    }
+
     /// [`Machine::run`] with per-site stall attribution: the run is driven
     /// through a [`SiteStallProbe`] and the returned statistics carry
     /// `per_site: Some(..)`. Every other field — wall time, core cycles,
     /// counters, store-buffer stalls — is bit-identical to [`Machine::run`]
     /// on the same inputs: the probe observes, it never perturbs.
     pub fn run_sited(&self, program: &Program, ctx: &WorkloadCtx, seed: u64) -> ExecStats {
+        self.run_sited_with(program, ctx, seed, &mut MachineScratch::new())
+    }
+
+    /// [`Machine::run_sited`] reusing a [`MachineScratch`] arena.
+    pub fn run_sited_with(
+        &self,
+        program: &Program,
+        ctx: &WorkloadCtx,
+        seed: u64,
+        scratch: &mut MachineScratch,
+    ) -> ExecStats {
         let mut probe = SiteStallProbe::new();
-        let mut stats = self.run_probed(program, ctx, seed, &mut probe);
+        let mut stats = self.run_loop(program, ctx, seed, &mut probe, scratch);
         stats.per_site = Some(probe.finish());
         stats
     }
@@ -124,12 +209,51 @@ impl Machine {
         seed: u64,
         probe: &mut dyn Probe,
     ) -> ExecStats {
+        self.run_probed_with(program, ctx, seed, probe, &mut MachineScratch::new())
+    }
+
+    /// The run loop: [`Machine::run_probed`] with every per-run allocation
+    /// drawn from (and returned to) `scratch`.
+    pub fn run_probed_with(
+        &self,
+        program: &Program,
+        ctx: &WorkloadCtx,
+        seed: u64,
+        probe: &mut dyn Probe,
+        scratch: &mut MachineScratch,
+    ) -> ExecStats {
+        self.run_loop(program, ctx, seed, probe, scratch)
+    }
+
+    /// The run loop proper, generic over the probe so statically-known
+    /// probes monomorphize (a [`NullProbe`] run carries zero observation
+    /// overhead — no virtual dispatch per instruction).
+    ///
+    /// Scheduling is discrete-event: a [`CoreHeap`] keyed on `(clock, core)`
+    /// always surfaces the core with the smallest local clock, so cross-core
+    /// coherence interactions happen in global time order, and a stepped
+    /// core whose clock is still minimal keeps running without touching the
+    /// other cores at all.
+    fn run_loop<P: Probe + ?Sized>(
+        &self,
+        program: &Program,
+        ctx: &WorkloadCtx,
+        seed: u64,
+        probe: &mut P,
+        scratch: &mut MachineScratch,
+    ) -> ExecStats {
         assert!(
             program.threads.len() <= self.spec.cores * self.spec.smt as usize,
             "program has {} threads but machine exposes {} hardware contexts",
             program.threads.len(),
             self.spec.cores * self.spec.smt as usize
         );
+        // Reject hostile contexts before any simulation: a NaN or negative
+        // rate would otherwise poison clocks mid-run, failing an entire
+        // campaign batch from deep inside the hot loop.
+        if let Err(why) = ctx.validate() {
+            panic!("rejected before simulation: {why}");
+        }
         let mut root = SplitMix64::new(seed ^ 0x5DEE_CE66_D1CE_5EED);
         // Run-level noise factor: models scheduling/SMT/frequency jitter that
         // shifts a whole sample, the dominant term in unstable benchmarks.
@@ -143,56 +267,67 @@ impl Machine {
             1.0
         };
 
-        let mut mem = MemSys::new();
+        let n = program.threads.len();
+        let MachineScratch {
+            cores,
+            rngs,
+            mem,
+            heap,
+        } = scratch;
+        mem.clear();
         let mut counters = Counters::default();
-        let mut cores: Vec<CoreState> = (0..program.threads.len())
-            .map(|id| CoreState::new(id, &self.spec))
-            .collect();
-        let mut rngs: Vec<SplitMix64> = (0..program.threads.len()).map(|_| root.split()).collect();
+        cores.truncate(n);
+        for (id, core) in cores.iter_mut().enumerate() {
+            core.reset(id, &self.spec);
+        }
+        for id in cores.len()..n {
+            cores.push(CoreState::new(id, &self.spec));
+        }
+        rngs.clear();
+        rngs.extend((0..n).map(|_| root.split()));
         // Stagger thread start times slightly, as a real scheduler would.
+        // Each core lands in its own disjoint range [i*20, i*20+10], so
+        // initial clocks never tie.
         for (i, core) in cores.iter_mut().enumerate() {
             core.clock = (i as f64) * 20.0 + rngs[i].next_f64() * 10.0;
         }
 
         // Interleave: always step the core with the smallest local clock so
         // cross-core coherence interactions happen in global time order.
-        let mut live: Vec<usize> = (0..cores.len())
-            .filter(|&i| !program.threads[i].is_empty())
-            .collect();
-        while !live.is_empty() {
-            let (slot, &idx) = live
-                .iter()
-                .enumerate()
-                .min_by(|(_, &a), (_, &b)| {
-                    cores[a]
-                        .clock
-                        .partial_cmp(&cores[b].clock)
-                        .expect("clocks are finite")
-                })
-                .expect("live is non-empty");
+        heap.clear();
+        for (i, core) in cores.iter().enumerate() {
+            if !program.threads[i].is_empty() {
+                heap.push(core.clock, i);
+            }
+        }
+        while let Some(idx) = heap.peek() {
             let core = &mut cores[idx];
-            let instr = &program.threads[idx][core.pc];
-            probe.begin(idx, core.pc, instr);
-            let before = core.clock;
-            core.step_probed(
-                instr,
-                &self.spec,
-                ctx,
-                &mut mem,
-                &mut rngs[idx],
-                &mut counters,
-                probe,
-            );
-            probe.retire(idx, core.pc, core.clock - before, core.clock);
-            core.pc += 1;
-            if core.pc >= program.threads[idx].len() {
-                live.swap_remove(slot);
+            let thread = &program.threads[idx];
+            let rng = &mut rngs[idx];
+            // Step this core while it remains the globally-minimal one; the
+            // common case (one straggler core, or a core far behind the
+            // pack) never re-consults the other cores.
+            loop {
+                let instr = &thread[core.pc];
+                probe.begin(idx, core.pc, instr);
+                let before = core.clock;
+                core.step_probed(instr, &self.spec, ctx, mem, rng, &mut counters, probe);
+                probe.retire(idx, core.pc, core.clock - before, core.clock);
+                core.pc += 1;
+                if core.pc >= thread.len() {
+                    heap.pop_root();
+                    break;
+                }
+                heap.update_root(core.clock);
+                if heap.peek() != Some(idx) {
+                    break;
+                }
             }
         }
 
         let mut sb_stall_cycles = 0.0;
         let mut sb_stalls = 0;
-        for core in &cores {
+        for core in cores.iter() {
             sb_stall_cycles += core.sbuf.stall_cycles;
             sb_stalls += core.sbuf.stalls;
         }
@@ -369,5 +504,105 @@ mod tests {
         let p = Program::new(vec![vec![Instr::Nop; 3], vec![Instr::Nop; 2]]);
         assert_eq!(p.len(), 5);
         assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn workload_ctx_validation_names_the_offending_field() {
+        let mut ctx = WorkloadCtx::default();
+        assert!(ctx.validate().is_ok());
+        ctx.noise_amp = f64::NAN;
+        let err = ctx.validate().unwrap_err();
+        assert!(err.contains("noise_amp"), "{err}");
+        ctx.noise_amp = 0.0;
+        ctx.l1_miss_rate = -0.5;
+        let err = ctx.validate().unwrap_err();
+        assert!(err.contains("l1_miss_rate"), "{err}");
+        ctx.l1_miss_rate = f64::INFINITY;
+        assert!(ctx.validate().is_err());
+    }
+
+    #[test]
+    fn hostile_ctx_is_rejected_up_front_not_mid_run() {
+        // A NaN noise amplitude used to detonate mid-batch at the scheduler's
+        // `partial_cmp(..).expect("clocks are finite")`; now the run refuses
+        // to start, naming the poisoned field.
+        let m = Machine::new(armv8_xgene1());
+        let prog = Program::new(vec![vec![load(1); 50], vec![store(1); 50]]);
+        let ctx = WorkloadCtx {
+            noise_amp: f64::NAN,
+            ..WorkloadCtx::default()
+        };
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| m.run(&prog, &ctx, 0)));
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("rejected before simulation"), "{msg}");
+        assert!(msg.contains("noise_amp"), "{msg}");
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_state() {
+        // One scratch across dissimilar jobs — different thread counts,
+        // shapes, architectures — must reproduce the allocate-fresh results
+        // exactly, including stats populated from reused buffers.
+        let arm = Machine::new(armv8_xgene1());
+        let pow = Machine::new(power7());
+        let progs = [
+            Program::new(vec![vec![
+                store(1),
+                Instr::Fence(FenceKind::DmbIsh),
+                load(2),
+            ]]),
+            Program::new(vec![
+                vec![store(1); 40],
+                vec![load(1); 40],
+                vec![store(2), load(2), store(2), load(2)],
+            ]),
+            Program::new(vec![
+                vec![Instr::Compute { cycles: 500 }],
+                vec![load(9); 10],
+            ]),
+        ];
+        let ctx = WorkloadCtx {
+            l1_miss_rate: 0.2,
+            noise_amp: 0.01,
+            ..WorkloadCtx::default()
+        };
+        let mut scratch = MachineScratch::new();
+        for round in 0..3 {
+            for (i, prog) in progs.iter().enumerate() {
+                for machine in [&arm, &pow] {
+                    let seed = (round * 10 + i) as u64;
+                    let fresh = machine.run(prog, &ctx, seed);
+                    let reused = machine.run_with(prog, &ctx, seed, &mut scratch);
+                    assert_eq!(fresh.wall_ns, reused.wall_ns);
+                    assert_eq!(fresh.core_cycles, reused.core_cycles);
+                    assert_eq!(fresh.sb_stall_cycles, reused.sb_stall_cycles);
+                    assert_eq!(fresh.sb_stalls, reused.sb_stalls);
+                    assert_eq!(fresh.counters, reused.counters);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_for_sited_runs() {
+        let m = Machine::new(armv8_xgene1());
+        let prog = Program::new(vec![
+            vec![store(1), Instr::Fence(FenceKind::DmbIsh), load(2)],
+            vec![store(2), Instr::Fence(FenceKind::DmbIsh), load(1)],
+        ]);
+        let ctx = WorkloadCtx::default();
+        let mut scratch = MachineScratch::new();
+        // Warm the scratch with an unrelated job first.
+        m.run_with(
+            &Program::new(vec![vec![load(5); 30]; 4]),
+            &ctx,
+            1,
+            &mut scratch,
+        );
+        let fresh = m.run_sited(&prog, &ctx, 42);
+        let reused = m.run_sited_with(&prog, &ctx, 42, &mut scratch);
+        assert_eq!(fresh.wall_ns, reused.wall_ns);
+        assert_eq!(fresh.per_site, reused.per_site);
     }
 }

@@ -13,10 +13,62 @@
 //! the run's seeded RNG.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::arch::ArchSpec;
 use crate::isa::Loc;
 use crate::rng::SplitMix64;
+
+/// A fast, deterministic hasher for 64-bit line keys: the SplitMix64
+/// finalizer. Line-map lookups happen on nearly every memory instruction,
+/// and the default SipHash (keyed, DoS-resistant) is wasted on keys the
+/// simulator itself constructs. No map is ever iterated, so the hash
+/// function cannot influence results — only lookup speed.
+#[derive(Debug, Default)]
+pub struct LineKeyHasher(u64);
+
+impl Hasher for LineKeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write_u64(&mut self, key: u64) {
+        let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = z ^ (z >> 31);
+    }
+
+    fn write_u8(&mut self, i: u8) {
+        self.write_u64(u64::from(i));
+    }
+
+    fn write_u32(&mut self, i: u32) {
+        self.write_u64(u64::from(i));
+    }
+
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+
+    fn write_isize(&mut self, i: isize) {
+        // Derived `Hash` for fieldless enums (e.g. `FenceKind`) hashes the
+        // discriminant as an `isize`; route it through the word mixer.
+        self.write_u64(i as u64);
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Line keys always hash through `write_u64`; keep a sound fallback
+        // (FNV-1a) for any other key type.
+        let mut h = self.0 ^ 0xCBF2_9CE4_8422_2325;
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        self.0 = h;
+    }
+}
+
+type LineMap<V> = HashMap<u64, V, BuildHasherDefault<LineKeyHasher>>;
 
 /// Sharing state of one read-write line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,11 +93,14 @@ pub enum AccessOutcome {
 }
 
 /// The memory system shared by all cores of a [`crate::machine::Machine`].
+///
+/// The directory doubles as the warmth record: every tracked-line operation
+/// inserts into it and nothing ever removes, so "line absent from the
+/// directory" is exactly "never touched" and the first access to a line is
+/// the one that comes from DRAM.
 #[derive(Debug)]
 pub struct MemSys {
-    directory: HashMap<u64, LineState>,
-    /// Lines ever touched (first touch comes from DRAM, later from LLC).
-    warmed: HashMap<u64, ()>,
+    directory: LineMap<LineState>,
 }
 
 /// Key used to disambiguate the address spaces of the three [`Loc`] classes
@@ -63,9 +118,14 @@ impl MemSys {
     /// A cold memory system.
     pub fn new() -> Self {
         MemSys {
-            directory: HashMap::new(),
-            warmed: HashMap::new(),
+            directory: LineMap::default(),
         }
+    }
+
+    /// Forget all line state, keeping the map allocations: equivalent to a
+    /// cold [`MemSys::new`] for the next run.
+    pub fn clear(&mut self) {
+        self.directory.clear();
     }
 
     /// Cycle cost and classification of a **load** by `core` from `loc`.
@@ -95,7 +155,6 @@ impl MemSys {
             }
             Loc::SharedRw(_) => {
                 let key = line_key(core, loc);
-                let first_touch = self.warmed.insert(key, ()).is_none();
                 match self.directory.get_mut(&key) {
                     Some(LineState::Modified(owner)) => {
                         if *owner == core {
@@ -117,12 +176,10 @@ impl MemSys {
                         }
                     }
                     None => {
+                        // Absent from the directory means never touched by
+                        // any operation: this is the line's first access.
                         self.directory.insert(key, LineState::Shared(1 << core));
-                        if first_touch {
-                            (spec.dram, AccessOutcome::Dram)
-                        } else {
-                            (spec.llc_hit, AccessOutcome::LlcHit)
-                        }
+                        (spec.dram, AccessOutcome::Dram)
                     }
                 }
             }
@@ -139,7 +196,6 @@ impl MemSys {
             // shared-rw for the drain (e.g. lazy init of interned data).
             Loc::SharedRo(_) | Loc::SharedRw(_) => {
                 let key = line_key(core, loc);
-                self.warmed.insert(key, ());
                 match self.directory.insert(key, LineState::Modified(core)) {
                     Some(LineState::Modified(owner)) if owner == core => spec.sb_drain_local,
                     Some(LineState::Shared(mask)) if mask == (1 << core) => {
@@ -157,7 +213,6 @@ impl MemSys {
     /// read-modify-write.
     pub fn rmw(&mut self, core: usize, loc: Loc, spec: &ArchSpec) -> (f64, AccessOutcome) {
         let key = line_key(core, loc);
-        self.warmed.insert(key, ());
         match self.directory.insert(key, LineState::Modified(core)) {
             Some(LineState::Modified(owner)) if owner == core => {
                 (spec.l1_hit, AccessOutcome::L1Hit)

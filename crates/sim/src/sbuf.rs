@@ -46,6 +46,17 @@ impl StoreBuffer {
         }
     }
 
+    /// Empty the buffer and zero its statistics, keeping the backing
+    /// allocation: equivalent to `StoreBuffer::new(capacity)`.
+    pub fn reset(&mut self, capacity: usize) {
+        assert!(capacity > 0, "store buffer needs at least one entry");
+        self.entries.clear();
+        self.capacity = capacity;
+        self.back_completes = 0.0;
+        self.stall_cycles = 0.0;
+        self.stalls = 0;
+    }
+
     /// Drop entries whose drain completed at or before `now`.
     pub fn expire(&mut self, now: f64) {
         while let Some(front) = self.entries.front() {

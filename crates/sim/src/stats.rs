@@ -1,9 +1,16 @@
 //! Execution statistics collected by a simulation run.
 
 use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
 
 use crate::isa::FenceKind;
-use crate::mem::AccessOutcome;
+use crate::mem::{AccessOutcome, LineKeyHasher};
+
+/// Per-fence-kind counter map. Updated on every fence retirement, so it
+/// uses the simulator's fast deterministic hasher instead of SipHash; all
+/// reads are point lookups (aggregation iterates [`FenceKind::ALL`], never
+/// the map), so the hash function cannot influence results.
+pub type FenceMap<V> = HashMap<FenceKind, V, BuildHasherDefault<LineKeyHasher>>;
 
 /// Raw event counters, shared by all cores of a run.
 #[derive(Debug, Default, Clone, PartialEq)]
@@ -35,9 +42,9 @@ pub struct Counters {
     /// Total cost-function loop iterations.
     pub cost_loop_iters: u64,
     /// Fence executions by kind.
-    pub fence_counts: HashMap<FenceKind, u64>,
+    pub fence_counts: FenceMap<u64>,
     /// Cycles spent stalled in fences, by kind.
-    pub fence_cycles: HashMap<FenceKind, f64>,
+    pub fence_cycles: FenceMap<f64>,
 }
 
 impl Counters {

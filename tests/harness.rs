@@ -289,9 +289,10 @@ fn profiled_manifest_text(exec: &dyn Executor) -> String {
     let mut manifest = RunManifest::new("obs_determinism", "armv8-xgene1");
     manifest.push_cell("contended/wall_ns", batch.mean_wall_ns());
     manifest.push_cell("contended/sites", batch.profile.sites.len() as f64);
-    let mut telemetry = wmm::wmm_harness::Telemetry::default();
-    telemetry.sites = Some(site_records(&batch.profile));
-    manifest.telemetry = Some(telemetry);
+    manifest.telemetry = Some(wmm::wmm_harness::Telemetry {
+        sites: Some(site_records(&batch.profile)),
+        ..Default::default()
+    });
     manifest.deterministic_json().to_string_pretty()
 }
 

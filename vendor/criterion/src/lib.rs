@@ -132,6 +132,14 @@ impl BenchmarkId {
             s: format!("{function}/{parameter}"),
         }
     }
+
+    /// Build an id from a parameter alone (the group supplies the function
+    /// part).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            s: parameter.to_string(),
+        }
+    }
 }
 
 impl std::fmt::Display for BenchmarkId {
