@@ -29,6 +29,16 @@ pub enum CommKind {
 }
 
 impl CommKind {
+    /// Stable small-integer rank, used by canonical cycle keys.
+    #[must_use]
+    pub fn rank(self) -> u8 {
+        match self {
+            CommKind::Rf => 0,
+            CommKind::Fr => 1,
+            CommKind::Co => 2,
+        }
+    }
+
     /// Short arrow label.
     #[must_use]
     pub fn label(self) -> &'static str {
@@ -72,6 +82,39 @@ pub struct CriticalCycle {
 }
 
 impl CriticalCycle {
+    /// Canonical rotation key: the lexicographically smallest rotation of
+    /// the paired `(entry, exit, comm)` sequence. Two cycles are the same
+    /// scenario iff their keys are equal, regardless of which leg the
+    /// enumeration happened to start from.
+    #[must_use]
+    pub fn canonical_key(&self) -> Vec<(usize, usize, u8)> {
+        let n = self.legs.len();
+        let seq: Vec<(usize, usize, u8)> = (0..n)
+            .map(|i| (self.legs[i].0, self.legs[i].1, self.comms[i].rank()))
+            .collect();
+        let best = (0..n)
+            .min_by_key(|&r| (0..n).map(|i| seq[(r + i) % n]).collect::<Vec<_>>())
+            .unwrap_or(0);
+        (0..n).map(|i| seq[(best + i) % n]).collect()
+    }
+
+    /// Rotate the cycle in place onto its canonical rotation (the one whose
+    /// `(entry, exit, comm)` sequence is lexicographically smallest). Leg
+    /// threads are pairwise distinct, so the minimal rotation is unique and
+    /// starts at the cycle's smallest entry access — which, with accesses
+    /// numbered thread-major, is the lowest-numbered thread.
+    pub fn canonicalize(&mut self) {
+        let key = self.canonical_key();
+        for (i, &(entry, exit, comm)) in key.iter().enumerate() {
+            self.legs[i] = (entry, exit);
+            self.comms[i] = match comm {
+                0 => CommKind::Rf,
+                1 => CommKind::Fr,
+                _ => CommKind::Co,
+            };
+        }
+    }
+
     /// Human-readable rendering, e.g.
     /// `t0:Wx ->po t0:Wy ->rf t1:Ry ->po t1:Rx ->fr t0:Wx`.
     #[must_use]
@@ -104,6 +147,27 @@ pub fn critical_cycles(g: &ProgramGraph) -> Vec<CriticalCycle> {
             let mut comms = vec![];
             let mut used: u64 = 1 << t0;
             extend(g, e0, e0, &mut legs, &mut comms, &mut used, &mut out);
+        }
+    }
+    dedup_cycles(out)
+}
+
+/// Canonicalize every cycle onto its minimal rotation and drop
+/// rotation-equivalent duplicates, preserving first-occurrence order.
+///
+/// The DFS in [`critical_cycles`] only ever extends to higher-numbered
+/// threads, so it emits each rotation class once — but merged cycle sets
+/// (per-component enumeration remapped into a parent graph, or graphs with
+/// parallel communication edges folded from several sources) can carry the
+/// same cycle under different rotations. This pass makes dedup exact.
+#[must_use]
+pub fn dedup_cycles(cycles: Vec<CriticalCycle>) -> Vec<CriticalCycle> {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut out = Vec::with_capacity(cycles.len());
+    for mut cyc in cycles {
+        cyc.canonicalize();
+        if seen.insert(cyc.canonical_key()) {
+            out.push(cyc);
         }
     }
     out
@@ -319,6 +383,59 @@ mod tests {
                 "store copy {wx} should anchor a cycle"
             );
         }
+    }
+
+    fn cas(loc: u64) -> Instr {
+        Instr::Cas {
+            loc: Loc::SharedRw(loc),
+            success_prob: 1.0,
+        }
+    }
+
+    #[test]
+    fn parallel_edge_graph_enumerates_each_rotation_class_once() {
+        // Two RMWs on the same location admit parallel communication edges
+        // (rf, fr and co between the same access pair, each a distinct
+        // scenario). Canonical keys must stay pairwise distinct: the same
+        // scenario must never appear under two rotations.
+        let g = ProgramGraph::from_streams(
+            "rmw-parallel",
+            &[vec![cas(0), store(1)], vec![load(1), cas(0)]],
+            &[],
+        );
+        let cycles = critical_cycles(&g);
+        assert!(!cycles.is_empty());
+        let keys: Vec<_> = cycles.iter().map(CriticalCycle::canonical_key).collect();
+        let mut deduped = keys.clone();
+        deduped.sort();
+        deduped.dedup();
+        assert_eq!(
+            keys.len(),
+            deduped.len(),
+            "rotation-equivalent duplicates survived: {:?}",
+            cycles.iter().map(|c| c.describe(&g)).collect::<Vec<_>>()
+        );
+        // Every emitted cycle is already in canonical rotation.
+        for cyc in &cycles {
+            let mut canon = cyc.clone();
+            canon.canonicalize();
+            assert_eq!(cyc.legs, canon.legs);
+            assert_eq!(cyc.comms, canon.comms);
+        }
+    }
+
+    #[test]
+    fn dedup_cycles_collapses_hand_rotated_duplicates() {
+        let (_, cycles) = cycles_of(&suite::message_passing());
+        let cyc = cycles[0].clone();
+        let mut rotated = cyc.clone();
+        rotated.legs.rotate_left(1);
+        rotated.comms.rotate_left(1);
+        assert_ne!(rotated.legs, cyc.legs);
+        assert_eq!(rotated.canonical_key(), cyc.canonical_key());
+        let merged = dedup_cycles(vec![cyc.clone(), rotated]);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].legs, cyc.legs);
     }
 
     use proptest::prelude::*;

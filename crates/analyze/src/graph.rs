@@ -207,6 +207,50 @@ impl ProgramGraph {
         g
     }
 
+    /// Parallel composition: the disjoint union of `parts` as one
+    /// multi-function program. Threads concatenate in part order and each
+    /// part's locations are re-interned under a `f{i}.` prefix, so parts
+    /// share no location even when names collide — every critical cycle
+    /// of the union lies inside a single part, which is what makes the
+    /// whole-program analysis decompose it exactly.
+    #[must_use]
+    pub fn disjoint_union(name: impl Into<String>, parts: &[&ProgramGraph]) -> Self {
+        let mut g = ProgramGraph {
+            name: name.into(),
+            accesses: vec![],
+            threads: vec![],
+            fences: vec![],
+            deps: vec![],
+            loc_names: vec![],
+        };
+        for (i, part) in parts.iter().enumerate() {
+            let access_off = g.accesses.len();
+            let thread_off = g.threads.len();
+            let loc_off = g.loc_names.len();
+            g.loc_names
+                .extend(part.loc_names.iter().map(|n| format!("f{i}.{n}")));
+            for a in &part.accesses {
+                let mut a = a.clone();
+                a.thread += thread_off;
+                a.loc += loc_off;
+                g.accesses.push(a);
+            }
+            for ids in &part.threads {
+                g.threads
+                    .push(ids.iter().map(|&id| id + access_off).collect());
+            }
+            for f in &part.fences {
+                let mut f = f.clone();
+                f.thread += thread_off;
+                g.fences.push(f);
+            }
+            for &(from, to, kind) in &part.deps {
+                g.deps.push((from + access_off, to + access_off, kind));
+            }
+        }
+        g
+    }
+
     /// Build the graph of platform-lowered instruction streams.
     ///
     /// `Load`/`Store` become accesses (with their acquire/release
@@ -427,5 +471,28 @@ mod tests {
         let g = ProgramGraph::from_streams("cas", &threads, &[]);
         assert!(g.accesses[0].is_load && g.accesses[0].is_store);
         assert_eq!(g.accesses[0].roles(), vec![true, false]);
+    }
+
+    #[test]
+    fn disjoint_union_keeps_parts_separate() {
+        use wmm_litmus::suite;
+        let sb = ProgramGraph::from_litmus(&suite::store_buffering().test);
+        let mp = ProgramGraph::from_litmus(&suite::message_passing().test);
+        let u = ProgramGraph::disjoint_union("sb+mp", &[&sb, &mp]);
+        assert_eq!(u.threads.len(), 4);
+        assert_eq!(u.accesses.len(), sb.accesses.len() + mp.accesses.len());
+        // Same variable names in both parts intern as distinct locations.
+        assert_eq!(u.loc_names.len(), sb.loc_names.len() + mp.loc_names.len());
+        assert!(u.loc_names.iter().any(|n| n == "f0.x"));
+        assert!(u.loc_names.iter().any(|n| n == "f1.x"));
+        // Access ids, thread ids and positions stay consistent.
+        for (t, ids) in u.threads.iter().enumerate() {
+            for (pos, &id) in ids.iter().enumerate() {
+                assert_eq!(u.accesses[id].thread, t);
+                assert_eq!(u.accesses[id].pos, pos);
+            }
+        }
+        // The union has exactly the parts' cycles: one from SB, one from MP.
+        assert_eq!(crate::cycles::critical_cycles(&u).len(), 2);
     }
 }

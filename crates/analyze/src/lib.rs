@@ -48,13 +48,16 @@ pub mod gen;
 pub mod graph;
 pub mod report;
 pub mod synth;
+pub mod wps;
 
 pub use check::{check_cycle, check_cycle_without, CycleCheck};
-pub use cycles::{critical_cycles, CommKind, CriticalCycle};
+pub use cycles::{critical_cycles, dedup_cycles, CommKind, CriticalCycle};
 pub use gen::{differential_corpus, generate, generate_all, GenArch, GenConfig};
 pub use graph::{Access, FenceNode, ProgramGraph, StreamDep};
 pub use report::{analyze, Analysis, DowngradableFence, RedundantFence, UnprotectedCycle};
 pub use synth::{
-    apply_to_graph, apply_to_streams, graph_cost, synthesize, CostModel, Instrument, Placement,
-    SynthConfig, SynthError,
+    apply_to_graph, apply_to_streams, graph_cost, synthesize, synthesize_cycles, synthesize_with,
+    CostModel, Instrument, Placement, SolverOptions, SynthConfig, SynthError, SynthOutcome,
+    DEFAULT_NODE_BUDGET,
 };
+pub use wps::{critical_cycles_wps, synthesize_wps, CycleCache, WpsConfig, WpsReport, WpsTier};

@@ -441,6 +441,14 @@ pub enum SynthError {
         /// Rounds executed before giving up.
         rounds: usize,
     },
+    /// The exact branch-and-bound exhausted its node budget and the
+    /// caller required a proven-minimal placement. Distinguishable from
+    /// infeasibility: a feasible cover existed, it just was not proven
+    /// optimal within budget.
+    Timeout {
+        /// Branch-and-bound nodes explored before the budget hit.
+        nodes: u64,
+    },
 }
 
 impl std::fmt::Display for SynthError {
@@ -453,6 +461,12 @@ impl std::fmt::Display for SynthError {
                 write!(
                     f,
                     "lazy constraint generation did not converge in {rounds} rounds"
+                )
+            }
+            SynthError::Timeout { nodes } => {
+                write!(
+                    f,
+                    "branch-and-bound node budget exhausted after {nodes} nodes"
                 )
             }
         }
@@ -654,6 +668,133 @@ fn po_legs(cyc: &CriticalCycle) -> Vec<(usize, usize)> {
     cyc.legs.iter().copied().filter(|&(e, x)| e != x).collect()
 }
 
+/// Default branch-and-bound node budget: far above anything the litmus
+/// suite or the generated corpus needs (the worst in-tree instance
+/// explores a few thousand nodes), so [`synthesize`] behaves exactly as
+/// the previously unbounded solver on every existing input while still
+/// terminating on adversarial ones.
+pub const DEFAULT_NODE_BUDGET: u64 = 1 << 22;
+
+/// How to run the hitting-set solve.
+#[derive(Debug, Clone, Copy)]
+pub struct SolverOptions {
+    /// Branch-and-bound node budget (counted once per `branch` entry).
+    pub node_budget: u64,
+    /// Skip branch-and-bound entirely: take the greedy upper bound as the
+    /// solution (the approximate tier). Always feasible, never proven
+    /// minimal.
+    pub greedy_only: bool,
+    /// Reorder bound `k`: per open cycle, only the first `k` multi-access
+    /// legs contribute eager constraints. Lazy constraint generation
+    /// repairs any cycle a trial placement leaves open, so the result is
+    /// still sound — the bound only shrinks the instances handed to the
+    /// solver.
+    pub reorder_bound: Option<usize>,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            node_budget: DEFAULT_NODE_BUDGET,
+            greedy_only: false,
+            reorder_bound: None,
+        }
+    }
+}
+
+impl SolverOptions {
+    /// The exact tier: full eager constraints, branch-and-bound under
+    /// `node_budget` nodes.
+    #[must_use]
+    pub fn exact(node_budget: u64) -> Self {
+        SolverOptions {
+            node_budget,
+            ..SolverOptions::default()
+        }
+    }
+
+    /// The reorder-bounded approximate tier: `k` eager legs per cycle,
+    /// greedy-UB solve only.
+    #[must_use]
+    pub fn approx(k: usize) -> Self {
+        SolverOptions {
+            node_budget: 0,
+            greedy_only: true,
+            reorder_bound: Some(k),
+        }
+    }
+}
+
+/// What a synthesis run produced and how much trust it carries.
+#[derive(Debug, Clone)]
+pub enum SynthOutcome {
+    /// Proven-minimal placement: branch-and-bound completed within budget
+    /// on every round.
+    Exact {
+        /// The minimal-cost placement.
+        placement: Placement,
+        /// Total branch-and-bound nodes explored across rounds.
+        nodes: u64,
+    },
+    /// Greedy-tier placement: feasible (every cycle protected) but an
+    /// upper bound only.
+    Approx {
+        /// The feasible placement.
+        placement: Placement,
+    },
+    /// The node budget ran out on some round: the placement is feasible
+    /// (validated like any other) but not proven minimal.
+    Timeout {
+        /// Best feasible placement found.
+        placement: Placement,
+        /// Nodes explored when the budget hit.
+        nodes: u64,
+        /// The budget that was exhausted.
+        budget: u64,
+    },
+}
+
+impl SynthOutcome {
+    /// The placement, whichever tier produced it.
+    #[must_use]
+    pub fn placement(&self) -> &Placement {
+        match self {
+            SynthOutcome::Exact { placement, .. }
+            | SynthOutcome::Approx { placement }
+            | SynthOutcome::Timeout { placement, .. } => placement,
+        }
+    }
+
+    /// Consume the outcome, keeping the placement.
+    #[must_use]
+    pub fn into_placement(self) -> Placement {
+        match self {
+            SynthOutcome::Exact { placement, .. }
+            | SynthOutcome::Approx { placement }
+            | SynthOutcome::Timeout { placement, .. } => placement,
+        }
+    }
+
+    /// Stable tier label for manifests.
+    #[must_use]
+    pub fn tier(&self) -> &'static str {
+        match self {
+            SynthOutcome::Exact { .. } => "exact",
+            SynthOutcome::Approx { .. } => "approx",
+            SynthOutcome::Timeout { .. } => "timeout",
+        }
+    }
+
+    /// Branch-and-bound nodes explored (0 for the greedy tier).
+    #[must_use]
+    pub fn nodes(&self) -> u64 {
+        match self {
+            SynthOutcome::Exact { nodes, .. } | SynthOutcome::Timeout { nodes, .. } => *nodes,
+            SynthOutcome::Approx { .. } => 0,
+        }
+    }
+}
+
 /// Exact weighted hitting set by branch-and-bound with a greedy seed.
 /// Cost of a solution is the priced sum over its *distinct* instruments.
 /// Deterministic: among equal-cost solutions the lexicographically
@@ -665,6 +806,9 @@ struct HittingSet<'a> {
     best_cost: f64,
     best_keys: Vec<(usize, usize, u8, usize, u8)>,
     best_chosen: Vec<usize>,
+    nodes: u64,
+    budget: u64,
+    out_of_budget: bool,
 }
 
 const EPS: f64 = 1e-9;
@@ -736,6 +880,14 @@ impl HittingSet<'_> {
     }
 
     fn branch(&mut self, chosen: &mut Vec<usize>, instrs: &mut Vec<Instrument>, cost: f64) {
+        // Explicit node budget: without it an adversarial instance keeps
+        // the search alive indefinitely; with it the caller gets the best
+        // incumbent so far plus a Timeout marker instead of a hang.
+        if self.nodes >= self.budget {
+            self.out_of_budget = true;
+            return;
+        }
+        self.nodes += 1;
         // Cost-only pruning: suite-scale problems have a handful of
         // constraints, so a nontrivial admissible lower bound is not
         // worth the sharing-aware bookkeeping it would need.
@@ -770,11 +922,19 @@ impl HittingSet<'_> {
     }
 }
 
+/// One hitting-set solve: the chosen instruments plus how the search went.
+struct SolveStats {
+    instruments: Vec<Instrument>,
+    nodes: u64,
+    timed_out: bool,
+}
+
 fn solve_hitting_set(
     cands: &[Vec<Instrument>],
     constraints: &[Vec<usize>],
     costs: &CostModel,
-) -> Vec<Instrument> {
+    opts: &SolverOptions,
+) -> SolveStats {
     let mut solver = HittingSet {
         cands,
         constraints,
@@ -782,9 +942,14 @@ fn solve_hitting_set(
         best_cost: f64::INFINITY,
         best_keys: vec![],
         best_chosen: vec![],
+        nodes: 0,
+        budget: opts.node_budget,
+        out_of_budget: false,
     };
     solver.greedy();
-    solver.branch(&mut vec![], &mut vec![], 0.0);
+    if !opts.greedy_only {
+        solver.branch(&mut vec![], &mut vec![], 0.0);
+    }
     let mut instruments: Vec<Instrument> = vec![];
     for &ci in &solver.best_chosen {
         for ins in &cands[ci] {
@@ -794,7 +959,11 @@ fn solve_hitting_set(
         }
     }
     instruments.sort_unstable();
-    instruments
+    SolveStats {
+        instruments,
+        nodes: solver.nodes,
+        timed_out: solver.out_of_budget,
+    }
 }
 
 /// Synthesize the minimal-cost placement protecting every critical cycle
@@ -805,33 +974,51 @@ fn solve_hitting_set(
 /// [`SynthError::NoCandidate`] when some unprotected cycle cannot be
 /// strengthened by any instrument the configuration allows;
 /// [`SynthError::Diverged`] if lazy constraint generation exceeds its
-/// round budget (a solver bug, not an input property).
+/// round budget (a solver bug, not an input property);
+/// [`SynthError::Timeout`] if branch-and-bound exhausts the default node
+/// budget (callers of this wrapper require a proven-minimal placement —
+/// use [`synthesize_with`] to accept the incumbent instead).
 pub fn synthesize(
     g: &ProgramGraph,
     cfg: SynthConfig,
     costs: &CostModel,
 ) -> Result<Placement, SynthError> {
-    const MAX_ROUNDS: usize = 32;
-    let model = cfg.model;
-    let cycles = critical_cycles(g);
-    let open: Vec<&CriticalCycle> = cycles
-        .iter()
-        .filter(|c| !check_cycle(g, model, c).protected)
-        .collect();
-    if open.is_empty() {
-        return Ok(Placement {
-            instruments: vec![],
-            cost_ns: 0.0,
-            rounds: 0,
-        });
+    match synthesize_with(g, cfg, costs, &SolverOptions::default())? {
+        SynthOutcome::Timeout { nodes, .. } => Err(SynthError::Timeout { nodes }),
+        outcome => Ok(outcome.into_placement()),
     }
+}
 
-    // Candidate enumeration over every multi-access leg of every open
-    // cycle; eager constraints demand a local cut on every uncut leg
-    // (necessary under every model — a leg without a local cut
-    // contributes no edge that could close the constraint graph across
-    // it on the MCA side, and POWER's cumulative/global strengths imply
-    // the local one in this checker).
+/// [`synthesize_cycles`] over `g`'s own (serially enumerated) cycle set.
+///
+/// # Errors
+///
+/// As for [`synthesize_cycles`].
+pub fn synthesize_with(
+    g: &ProgramGraph,
+    cfg: SynthConfig,
+    costs: &CostModel,
+    opts: &SolverOptions,
+) -> Result<SynthOutcome, SynthError> {
+    synthesize_cycles(g, &critical_cycles(g), cfg, costs, opts)
+}
+
+/// Candidate enumeration over every multi-access leg of every open cycle;
+/// eager constraints demand a local cut on every uncut leg (necessary
+/// under every model — a leg without a local cut contributes no edge that
+/// could close the constraint graph across it on the MCA side, and
+/// POWER's cumulative/global strengths imply the local one in this
+/// checker). The reorder bound `k` limits which legs contribute *eager*
+/// constraints; candidates still register for every leg so lazy repair
+/// can reach them.
+#[allow(clippy::type_complexity)]
+fn eager_instance(
+    g: &ProgramGraph,
+    cfg: SynthConfig,
+    open: &[&CriticalCycle],
+    opts: &SolverOptions,
+) -> Result<(Vec<Vec<Instrument>>, Vec<Vec<usize>>), SynthError> {
+    let model = cfg.model;
     let mut cands: Vec<Vec<Instrument>> = vec![];
     let mut constraints: Vec<Vec<usize>> = vec![];
     let register = |cands: &mut Vec<Vec<Instrument>>, bundle: Vec<Instrument>| -> usize {
@@ -840,14 +1027,15 @@ pub fn synthesize(
             cands.len() - 1
         })
     };
-    for cyc in &open {
-        for (a_id, b_id) in po_legs(cyc) {
+    let eager = opts.reorder_bound.unwrap_or(usize::MAX);
+    for cyc in open {
+        for (leg_idx, (a_id, b_id)) in po_legs(cyc).into_iter().enumerate() {
             let bundles = pair_candidates(g, cfg, a_id, b_id);
             let ids: Vec<usize> = bundles
                 .into_iter()
                 .map(|b| register(&mut cands, b))
                 .collect();
-            if !pair_cut(g, model, a_id, b_id, None).local {
+            if leg_idx < eager && !pair_cut(g, model, a_id, b_id, None).local {
                 let locals: Vec<usize> = ids
                     .iter()
                     .copied()
@@ -867,9 +1055,54 @@ pub fn synthesize(
             }
         }
     }
+    Ok((cands, constraints))
+}
 
+/// Synthesize a placement protecting every cycle in `cycles` (which must
+/// be `g`'s complete critical-cycle set — e.g. from the parallel
+/// whole-program enumerator) under `cfg.model`, with the solve tier
+/// chosen by `opts`.
+///
+/// # Errors
+///
+/// [`SynthError::NoCandidate`] and [`SynthError::Diverged`] as for
+/// [`synthesize`]; this entry never returns [`SynthError::Timeout`] —
+/// budget exhaustion is reported as [`SynthOutcome::Timeout`] with the
+/// best feasible incumbent.
+pub fn synthesize_cycles(
+    g: &ProgramGraph,
+    cycles: &[CriticalCycle],
+    cfg: SynthConfig,
+    costs: &CostModel,
+    opts: &SolverOptions,
+) -> Result<SynthOutcome, SynthError> {
+    const MAX_ROUNDS: usize = 32;
+    let model = cfg.model;
+    let open: Vec<&CriticalCycle> = cycles
+        .iter()
+        .filter(|c| !check_cycle(g, model, c).protected)
+        .collect();
+    if open.is_empty() {
+        let placement = Placement {
+            instruments: vec![],
+            cost_ns: 0.0,
+            rounds: 0,
+        };
+        return Ok(SynthOutcome::Exact {
+            placement,
+            nodes: 0,
+        });
+    }
+
+    let (cands, mut constraints) = eager_instance(g, cfg, &open, opts)?;
+
+    let mut nodes_total: u64 = 0;
+    let mut timed_out = false;
     for round in 1..=MAX_ROUNDS {
-        let solution = solve_hitting_set(&cands, &constraints, costs);
+        let solve = solve_hitting_set(&cands, &constraints, costs, opts);
+        nodes_total += solve.nodes;
+        timed_out |= solve.timed_out;
+        let solution = solve.instruments;
         let applied = apply_to_graph(g, &solution);
         let failing: Vec<&&CriticalCycle> = open
             .iter()
@@ -877,10 +1110,24 @@ pub fn synthesize(
             .collect();
         if failing.is_empty() {
             let cost_ns = solution.iter().map(|i| costs.instrument_ns(i)).sum();
-            return Ok(Placement {
+            let placement = Placement {
                 instruments: solution,
                 cost_ns,
                 rounds: round,
+            };
+            return Ok(if opts.greedy_only {
+                SynthOutcome::Approx { placement }
+            } else if timed_out {
+                SynthOutcome::Timeout {
+                    placement,
+                    nodes: nodes_total,
+                    budget: opts.node_budget,
+                }
+            } else {
+                SynthOutcome::Exact {
+                    placement,
+                    nodes: nodes_total,
+                }
             });
         }
         // Lazy constraints: for each failing cycle, the unchosen

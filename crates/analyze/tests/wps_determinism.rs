@@ -1,0 +1,88 @@
+//! Property-based determinism of the whole-program solver tiers.
+//!
+//! The WPS contract is that nothing observable depends on scheduling:
+//! enumeration runs as parallel cached tasks but merges in component
+//! order, and both solver tiers (exact branch-and-bound, reorder-bounded
+//! greedy) are deterministic given the cycle set. These properties drive
+//! generated-corpus subproblems — parallel compositions of corpus tests,
+//! the same shape `fence_synth_wps` bundles at scale — through the
+//! pipeline at several worker counts and on repeated runs, and require
+//! byte-identical results (debug formatting covers every field, including
+//! floating-point costs bit-for-bit).
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use wmm_analyze::{
+    critical_cycles_wps, differential_corpus, synthesize_cycles, synthesize_wps, CostModel,
+    CycleCache, ProgramGraph, SolverOptions, SynthConfig, WpsConfig,
+};
+use wmm_litmus::ops::ModelKind;
+use wmm_litmus::LitmusTest;
+
+/// The generated corpus, built once (generation itself is deterministic —
+/// asserted in the generator's own tests).
+fn corpus() -> &'static [LitmusTest] {
+    static CORPUS: OnceLock<Vec<LitmusTest>> = OnceLock::new();
+    CORPUS.get_or_init(differential_corpus)
+}
+
+/// A corpus subproblem: the parallel composition of the tests at `picks`
+/// (indices taken modulo the corpus length).
+fn subproblem(picks: &[u16]) -> ProgramGraph {
+    let corpus = corpus();
+    let parts: Vec<ProgramGraph> = picks
+        .iter()
+        .map(|&i| ProgramGraph::from_litmus(&corpus[i as usize % corpus.len()]))
+        .collect();
+    ProgramGraph::disjoint_union("prop-bundle", &parts.iter().collect::<Vec<_>>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Parallel enumeration is independent of worker count and cache
+    /// state, as an ordered sequence.
+    #[test]
+    fn enumeration_is_schedule_independent(
+        picks in prop::collection::vec(0u16..2048, 1..6)
+    ) {
+        let g = subproblem(&picks);
+        let baseline = format!("{:?}", critical_cycles_wps(&g, Some(1), None));
+        for workers in [2usize, 4] {
+            let cache = CycleCache::in_memory();
+            let warm = critical_cycles_wps(&g, Some(workers), Some(&cache));
+            prop_assert_eq!(&baseline, &format!("{warm:?}"));
+            // Cache-hit path returns the same bytes as the miss path.
+            let hit = critical_cycles_wps(&g, Some(workers), Some(&cache));
+            prop_assert_eq!(&baseline, &format!("{hit:?}"));
+        }
+    }
+
+    /// Both solver tiers return byte-identical placements across worker
+    /// counts and reruns on the same subproblem.
+    #[test]
+    fn solver_tiers_are_deterministic(
+        picks in prop::collection::vec(0u16..2048, 1..5)
+    ) {
+        let g = subproblem(&picks);
+        let costs = CostModel::static_table();
+        let cfg = SynthConfig::for_model(ModelKind::ArmV8);
+        let cycles = critical_cycles_wps(&g, Some(1), None);
+
+        for opts in [SolverOptions::exact(1 << 20), SolverOptions::approx(2)] {
+            let first = format!("{:?}", synthesize_cycles(&g, &cycles, cfg, &costs, &opts));
+            let again = format!("{:?}", synthesize_cycles(&g, &cycles, cfg, &costs, &opts));
+            prop_assert_eq!(&first, &again);
+        }
+
+        let report = |workers: usize| {
+            let wps = WpsConfig { threads: Some(workers), ..WpsConfig::default() };
+            format!("{:?}", synthesize_wps(&g, cfg, &costs, &wps, None))
+        };
+        let baseline = report(1);
+        prop_assert_eq!(&baseline, &report(2));
+        prop_assert_eq!(&baseline, &report(4));
+        prop_assert_eq!(&baseline, &report(1));
+    }
+}

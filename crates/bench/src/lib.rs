@@ -38,5 +38,6 @@ pub mod experiments;
 pub mod perf;
 pub mod profiling;
 pub mod streams;
+pub mod wps;
 
 pub use experiments::*;

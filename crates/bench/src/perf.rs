@@ -23,11 +23,13 @@
 
 use std::time::Instant;
 
+use wmm_analyze::{critical_cycles_wps, synthesize_wps, CostModel, CycleCache, SynthConfig};
 use wmm_harness::{ParallelExecutor, SimCache};
 use wmm_sim::arch::Arch;
 use wmmbench::json::Json;
 use wmmbench::sensitivity::SweepResult;
 
+use crate::wps::{make_bundles, Bundle, WPS_MODEL};
 use crate::{fig5_openjdk_sweeps_with, ExpConfig};
 
 /// Report schema identifier; bump on incompatible layout changes.
@@ -157,28 +159,25 @@ fn results_checksum(sweeps: &[SweepResult]) -> String {
     format!("{h:016x}")
 }
 
-/// Run one campaign `warmup + iters` times, cold each time, and collect its
-/// perf record. Panics if any iteration's results checksum disagrees with
+/// Run one campaign `warmup + iters` times, cold each time, and collect
+/// its perf record. `body` performs one full cold iteration and returns
+/// `(jobs, checksum)` — its work-unit count and a checksum over its
+/// scientific results. Panics if any iteration's checksum disagrees with
 /// the first — that would be a determinism regression, which no amount of
 /// timing tolerance should absorb.
 fn run_campaign(
     name: &str,
-    arch: Arch,
     opts: &BenchOptions,
     run_log: &mut dyn FnMut(&str),
+    body: &mut dyn FnMut(&BenchOptions) -> (u64, String),
 ) -> CampaignPerf {
-    let cfg = opts.config();
     let mut checksum = String::new();
     let mut jobs = 0;
     let mut iter_ms = Vec::with_capacity(opts.iters);
     for i in 0..opts.warmup + opts.iters {
-        // A fresh executor and a fresh in-memory cache: every job is
-        // simulated, nothing is warm.
-        let exec = ParallelExecutor::new(opts.threads).with_cache(SimCache::in_memory());
         let t0 = Instant::now();
-        let sweeps = fig5_openjdk_sweeps_with(arch, cfg, &exec);
+        let (n, sum) = body(opts);
         let ms = t0.elapsed().as_secs_f64() * 1e3;
-        let sum = results_checksum(&sweeps);
         if checksum.is_empty() {
             checksum = sum;
         } else {
@@ -187,7 +186,7 @@ fn run_campaign(
                 "{name}: results changed between iterations — determinism bug"
             );
         }
-        jobs = exec.telemetry().jobs;
+        jobs = n;
         let phase = if i < opts.warmup { "warmup" } else { "measure" };
         run_log(&format!("{name} {phase} {i}: {ms:.1} ms, {jobs} jobs"));
         if i >= opts.warmup {
@@ -202,14 +201,87 @@ fn run_campaign(
     }
 }
 
+/// One cold fig. 5 sweep iteration: fresh executor, fresh cache, every
+/// job simulated.
+fn fig5_iteration(arch: Arch, opts: &BenchOptions) -> (u64, String) {
+    let exec = ParallelExecutor::new(opts.threads).with_cache(SimCache::in_memory());
+    let sweeps = fig5_openjdk_sweeps_with(arch, opts.config(), &exec);
+    (exec.telemetry().jobs, results_checksum(&sweeps))
+}
+
+/// One WPS enumeration iteration over the generated bundles: several
+/// cold rounds (fresh cycle cache each, every conflict component
+/// enumerated) so the iteration is long enough to time. Jobs = critical
+/// cycles enumerated, so the gated throughput is cycles per second.
+fn wps_enum_iteration(bundles: &[Bundle], opts: &BenchOptions) -> (u64, String) {
+    let rounds = if opts.quick { 16 } else { 32 };
+    let mut h = wmm_harness::Fnv128::new();
+    let mut cycles = 0u64;
+    for _ in 0..rounds {
+        let cache = CycleCache::in_memory();
+        for b in bundles {
+            let set = critical_cycles_wps(&b.graph, opts.threads, Some(&cache));
+            cycles += set.len() as u64;
+            h.bytes(format!("{set:?}").as_bytes());
+        }
+    }
+    (cycles, format!("{:016x}", h.finish() as u64))
+}
+
+/// One cold WPS solve iteration: the full tiered pipeline (enumerate,
+/// approx tier, exact oracle where gated) per bundle. Jobs = solved
+/// instances, so the gated throughput is solves per second.
+fn wps_solve_iteration(bundles: &[Bundle], opts: &BenchOptions) -> (u64, String) {
+    let cache = CycleCache::in_memory();
+    let costs = CostModel::priced(crate::streams::NOMINAL_K);
+    let wps = wmm_analyze::WpsConfig {
+        threads: opts.threads,
+        ..wmm_analyze::WpsConfig::default()
+    };
+    let mut h = wmm_harness::Fnv128::new();
+    let mut solves = 0u64;
+    for b in bundles {
+        let report = synthesize_wps(
+            &b.graph,
+            SynthConfig::for_model(WPS_MODEL),
+            &costs,
+            &wps,
+            Some(&cache),
+        )
+        .expect("bundle synthesis");
+        solves += 1;
+        h.bytes(report.tier.label().as_bytes());
+        h.bytes(format!("{:?}", report.placement.instruments).as_bytes());
+        h.f64(report.placement.cost_ns);
+        h.f64(report.approx_cost_ns);
+    }
+    (solves, format!("{:016x}", h.finish() as u64))
+}
+
 /// Measure every campaign in the suite: the fig. 5 OpenJDK sweep campaign
 /// on both architectures — the simulator's end-to-end hot path (image
-/// generation, calibration, linking, keying, simulation, fitting).
+/// generation, calibration, linking, keying, simulation, fitting) — plus
+/// the whole-program synthesis pipeline over the generated bundles, split
+/// into its enumeration (cycles/sec) and tiered-solve (solves/sec) rates.
 pub fn run_campaigns(opts: &BenchOptions, mut log: impl FnMut(&str)) -> Vec<CampaignPerf> {
-    [("fig5_arm", Arch::ArmV8), ("fig5_power", Arch::Power7)]
-        .into_iter()
-        .map(|(name, arch)| run_campaign(name, arch, opts, &mut log))
-        .collect()
+    // Bundle packing is input preparation, not the measured pipeline:
+    // build once, outside the timed iterations.
+    let bundles = make_bundles(if opts.quick { 64 } else { 128 });
+    let mut out = vec![
+        run_campaign("fig5_arm", opts, &mut log, &mut |o| {
+            fig5_iteration(Arch::ArmV8, o)
+        }),
+        run_campaign("fig5_power", opts, &mut log, &mut |o| {
+            fig5_iteration(Arch::Power7, o)
+        }),
+    ];
+    out.push(run_campaign("wps_enum", opts, &mut log, &mut |o| {
+        wps_enum_iteration(&bundles, o)
+    }));
+    out.push(run_campaign("wps_solve", opts, &mut log, &mut |o| {
+        wps_solve_iteration(&bundles, o)
+    }));
+    out
 }
 
 /// Reference numbers embedded in a report: the same measurement taken with

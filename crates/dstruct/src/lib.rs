@@ -28,6 +28,9 @@
 //!   for it), the bridge mapping a synthesized fence placement back onto
 //!   the protect/scan sites, and the use-after-retire litmus shapes the
 //!   explorer checks;
+//! * [`stitch`] — multi-operation programs (push+pop, insert+delete+search)
+//!   stitched into one graph for whole-program fence synthesis, with the
+//!   embedded reclamation race mapped back onto the litmus shapes;
 //! * [`workload`] — whole benchmarks composing the operations into
 //!   stack-churn, list-search and list-update mixes.
 
@@ -37,6 +40,7 @@
 pub mod ops;
 pub mod retire;
 pub mod sites;
+pub mod stitch;
 pub mod workload;
 
 pub use ops::DstructOp;
@@ -48,4 +52,5 @@ pub use sites::{
     ebr_strategy, hp_asym_strategy, hp_dmb_strategy, nr_strategy, scheme_strategies, DSite,
     DstructStrategy,
 };
+pub use stitch::{stitched_harris_michael, stitched_treiber, HazardWindow, StitchedProgram};
 pub use workload::{dstruct_profile, dstruct_profiles, dstruct_suite, DstructBench};

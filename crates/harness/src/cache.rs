@@ -52,10 +52,22 @@ impl Fnv {
 }
 
 /// Two independent lanes (distinct offset bases) hashed in lockstep.
-struct Fnv128(Fnv, Fnv);
+///
+/// Public so other content-addressed stores (e.g. the analysis-task cache
+/// in [`crate::jobs`]) key into the same 128-bit space with the same
+/// collision odds as the simulation cache.
+pub struct Fnv128(Fnv, Fnv);
+
+impl Default for Fnv128 {
+    fn default() -> Self {
+        Fnv128::new()
+    }
+}
 
 impl Fnv128 {
-    fn new() -> Self {
+    /// Fresh hasher over both lanes.
+    #[must_use]
+    pub fn new() -> Self {
         // Lane 0: the standard FNV-1a offset basis; lane 1: an arbitrary
         // odd constant so the lanes decorrelate.
         Fnv128(
@@ -63,18 +75,23 @@ impl Fnv128 {
             Fnv::new(0x9e37_79b9_7f4a_7c15),
         )
     }
-    fn u64(&mut self, v: u64) {
+    /// Fold one word into both lanes.
+    pub fn u64(&mut self, v: u64) {
         self.0.u64(v);
         self.1.u64(v ^ 0xa5a5_a5a5_a5a5_a5a5);
     }
-    fn f64(&mut self, v: f64) {
+    /// Fold one float (by bit pattern) into both lanes.
+    pub fn f64(&mut self, v: f64) {
         self.u64(v.to_bits());
     }
-    fn bytes(&mut self, bs: &[u8]) {
+    /// Fold a length-prefixed byte string into both lanes.
+    pub fn bytes(&mut self, bs: &[u8]) {
         self.0.bytes(bs);
         self.1.bytes(bs);
     }
-    fn finish(self) -> u128 {
+    /// The 128-bit digest.
+    #[must_use]
+    pub fn finish(self) -> u128 {
         ((self.0 .0 as u128) << 64) | self.1 .0 as u128
     }
 }

@@ -35,13 +35,15 @@
 pub mod artifact;
 pub mod cache;
 pub mod gate;
+pub mod jobs;
 pub mod scheduler;
 pub mod trace;
 
 pub use artifact::{
     CellRecord, FitRecord, RunManifest, SimTotals, SiteRecord, Telemetry, Timing, SCHEMA_VERSION,
 };
-pub use cache::{job_key, SimCache};
+pub use cache::{job_key, Fnv128, SimCache};
 pub use gate::{compare, GateConfig, GateReport, Mismatch};
+pub use jobs::{run_cached_tasks, TaskCache, TaskCodec};
 pub use scheduler::{resolve_threads, run_keyed, run_keyed_indexed, ParallelExecutor};
 pub use trace::{instruction_trace_events, write_chrome_trace, TraceEvent};
