@@ -60,4 +60,7 @@ pub use synth::{
     CostModel, Instrument, Placement, SolverOptions, SynthConfig, SynthError, SynthOutcome,
     DEFAULT_NODE_BUDGET,
 };
-pub use wps::{critical_cycles_wps, synthesize_wps, CycleCache, WpsConfig, WpsReport, WpsTier};
+pub use wps::{
+    critical_cycles_wps, critical_cycles_wps_metered, synthesize_wps, synthesize_wps_metered,
+    CycleCache, WpsConfig, WpsMetrics, WpsReport, WpsTier,
+};

@@ -17,14 +17,22 @@
 //!           [--emit-from PATH]           skip measuring; re-emit PATH (for attaching
 //!                                        a reference to an existing report)
 //!           [--gate PATH [--tol F]]      measure and compare against PATH (default tol 3.0)
+//!           [--overhead-tol F]           ceiling on the metrics-layer slowdown checked
+//!                                        when gating (fraction, default 0.02)
 //! ```
+//!
+//! When gating, the observability overhead check also runs: the
+//! metrics-enabled `fig5_arm_obs` campaign must keep at least
+//! `1 - overhead_tol` of the bare `fig5_arm` campaign's throughput and
+//! reproduce its results checksum exactly.
 //!
 //! Exit status: 0 on success / gate pass, 1 on gate failure, 2 on usage or
 //! I/O errors.
 use std::process::ExitCode;
 
 use wmm_bench::perf::{
-    attach_reference, gate, report_json, run_campaigns, BenchOptions, Reference, BENCH_FILE,
+    attach_reference, gate, overhead_check, report_json, run_campaigns, BenchOptions, Reference,
+    BENCH_FILE, OVERHEAD_TOL,
 };
 use wmmbench::json::Json;
 
@@ -32,7 +40,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: wmm_bench [--quick|--full] [--iters N] [--warmup N] [--threads N] \
          [--out PATH] [--reference PATH --ref-label S] [--emit-from PATH] \
-         [--gate PATH [--tol F]]"
+         [--gate PATH [--tol F]] [--overhead-tol F]"
     );
     ExitCode::from(2)
 }
@@ -50,6 +58,7 @@ fn main() -> ExitCode {
     let mut ref_label = "reference".to_string();
     let mut emit_from: Option<String> = None;
     let mut tol = 3.0;
+    let mut overhead_tol = OVERHEAD_TOL;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |what: &str| args.next().ok_or_else(|| format!("{what} needs a value"));
@@ -70,6 +79,10 @@ fn main() -> ExitCode {
             },
             "--tol" => match value("--tol").map(|v| v.parse()) {
                 Ok(Ok(t)) => tol = t,
+                _ => return usage(),
+            },
+            "--overhead-tol" => match value("--overhead-tol").map(|v| v.parse()) {
+                Ok(Ok(t)) => overhead_tol = t,
                 _ => return usage(),
             },
             "--out" => match value("--out") {
@@ -132,7 +145,8 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let violations = gate(&committed, &opts, &campaigns, tol);
+        let mut violations = gate(&committed, &opts, &campaigns, tol);
+        violations.extend(overhead_check(&campaigns, overhead_tol));
         for c in &campaigns {
             println!(
                 "wmm_bench: {}: best {:.1} ms, {:.1} jobs/s (p50 {:.1} ms)",

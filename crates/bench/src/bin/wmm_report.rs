@@ -1,0 +1,90 @@
+//! `wmm_report` — one observed campaign run, reported every way at once.
+//!
+//! Runs a profile campaign with the full observability stack attached (the
+//! `wmm-obs` metrics registry on the executor and simulation cache, a span
+//! log around the run's phases, a metered WPS solver stage) and emits:
+//!
+//! * a markdown run report on stdout (campaign summary, structural and
+//!   observational metrics, hottest sites, cache traffic, cross-check
+//!   verdict) — or to a file via `--md`;
+//! * `results/runs/wmm_report.json` — a schema-versioned manifest whose
+//!   cells pin every structural metric, gated in CI by `bench_gate`
+//!   against `results/baselines/wmm_report.json`;
+//! * optional exporter outputs: `--prom <path>` (Prometheus text
+//!   exposition), `--metrics-json <path>` (the snapshot as JSON),
+//!   `--trace <path>` (Chrome trace merging the span timeline with the
+//!   executor's batch/job events).
+//!
+//! Flags: `--campaign <id>` (default `fig5-arm`), `--quick`,
+//! `--threads N`, `--wps-tests N` (`0` skips the solver stage),
+//! `--strict` (exit non-zero if the per-kind cross-check fails).
+//!
+//! Exit status: 0 on success, 1 on `--strict` cross-check failure, 2 on
+//! usage or I/O errors.
+
+use wmm_bench::profiling::PROFILE_CAMPAIGNS;
+use wmm_bench::report::{checks_pass, collect_report, manifest, markdown, ReportOptions};
+use wmm_bench::{cli_config, cli_flag, cli_threads, runs_dir};
+use wmm_harness::{merge_chronological, span_trace_events, write_chrome_trace};
+use wmmbench::json::ToJson;
+
+/// The value following `name` on the command line, if present.
+fn cli_opt(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let trace_path = cli_opt("--trace");
+    let opts = ReportOptions {
+        campaign: cli_opt("--campaign").unwrap_or_else(|| "fig5-arm".to_string()),
+        cfg: cli_config(),
+        threads: cli_threads(),
+        wps_min_tests: cli_opt("--wps-tests")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(16),
+        trace: trace_path.is_some(),
+    };
+
+    let Some(report) = collect_report(&opts) else {
+        eprintln!(
+            "unknown campaign `{}`; expected one of {PROFILE_CAMPAIGNS:?}",
+            opts.campaign
+        );
+        std::process::exit(2);
+    };
+
+    let md = markdown(&report);
+    match cli_opt("--md") {
+        Some(path) => {
+            std::fs::write(&path, &md).expect("write markdown report");
+            println!("wrote {path}");
+        }
+        None => print!("{md}"),
+    }
+
+    if let Some(path) = cli_opt("--prom") {
+        std::fs::write(&path, report.snapshot.to_prometheus()).expect("write prometheus export");
+        println!("wrote {path} ({} metrics)", report.snapshot.entries.len());
+    }
+    if let Some(path) = cli_opt("--metrics-json") {
+        std::fs::write(&path, report.snapshot.to_json().to_string_pretty() + "\n")
+            .expect("write metrics json");
+        println!("wrote {path}");
+    }
+    if let Some(path) = trace_path {
+        let spans = span_trace_events(&report.spans);
+        let events = merge_chronological(&[&spans, &report.trace]);
+        write_chrome_trace(&path, &events).expect("write chrome trace");
+        println!("wrote {path} ({} events)", events.len());
+    }
+
+    let manifest_path = manifest(&report).write(runs_dir()).expect("write manifest");
+    println!("wrote {}", manifest_path.display());
+
+    if !checks_pass(&report) && cli_flag("--strict") {
+        std::process::exit(1);
+    }
+}

@@ -24,6 +24,8 @@
 //! | per-site profiles | [`profiling::profile_campaign`] | `wmm_profile` |
 //! | cross-JIT site diff | [`profiling`] + `wmm_obs::Profile::diff` | `wmm_tracediff` |
 //! | reclamation schemes | [`experiments::fig_dstruct_manifest_with`] | `fig_dstruct` |
+//! | observed run report | [`report::collect_report`] | `wmm_report` |
+//! | perf trajectory gate | [`perf::run_campaigns`] | `wmm_bench` |
 //!
 //! The [`streams`] module is the shared stream-ingestion path for the
 //! static checkers: platform instruction streams go through one
@@ -37,6 +39,7 @@
 pub mod experiments;
 pub mod perf;
 pub mod profiling;
+pub mod report;
 pub mod streams;
 pub mod wps;
 

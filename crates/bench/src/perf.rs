@@ -25,6 +25,7 @@ use std::time::Instant;
 
 use wmm_analyze::{critical_cycles_wps, synthesize_wps, CostModel, CycleCache, SynthConfig};
 use wmm_harness::{ParallelExecutor, SimCache};
+use wmm_obs::MetricsRegistry;
 use wmm_sim::arch::Arch;
 use wmmbench::json::Json;
 use wmmbench::sensitivity::SweepResult;
@@ -209,6 +210,22 @@ fn fig5_iteration(arch: Arch, opts: &BenchOptions) -> (u64, String) {
     (exec.telemetry().jobs, results_checksum(&sweeps))
 }
 
+/// The fig. 5 iteration with the full `wmm-obs` metrics layer attached:
+/// a fresh registry per iteration, every batch updating the
+/// `harness.exec.*` / `harness.worker.*` / `harness.cache.sim.*` metrics.
+/// Same science as [`fig5_iteration`] — metrics observe, they never steer —
+/// so its checksum must equal the plain campaign's, which the committed
+/// report pins. The campaign exists to *price* observability: the
+/// [`overhead_check`] compares its throughput against the bare run.
+fn fig5_obs_iteration(arch: Arch, opts: &BenchOptions) -> (u64, String) {
+    let registry = MetricsRegistry::new();
+    let exec = ParallelExecutor::new(opts.threads)
+        .with_cache(SimCache::in_memory())
+        .with_metrics(&registry);
+    let sweeps = fig5_openjdk_sweeps_with(arch, opts.config(), &exec);
+    (exec.telemetry().jobs, results_checksum(&sweeps))
+}
+
 /// One WPS enumeration iteration over the generated bundles: several
 /// cold rounds (fresh cycle cache each, every conflict component
 /// enumerated) so the iteration is long enough to time. Jobs = critical
@@ -270,6 +287,11 @@ pub fn run_campaigns(opts: &BenchOptions, mut log: impl FnMut(&str)) -> Vec<Camp
     let mut out = vec![
         run_campaign("fig5_arm", opts, &mut log, &mut |o| {
             fig5_iteration(Arch::ArmV8, o)
+        }),
+        // Measured back-to-back with fig5_arm so the overhead ratio compares
+        // iterations taken under the same machine conditions.
+        run_campaign("fig5_arm_obs", opts, &mut log, &mut |o| {
+            fig5_obs_iteration(Arch::ArmV8, o)
         }),
         run_campaign("fig5_power", opts, &mut log, &mut |o| {
             fig5_iteration(Arch::Power7, o)
@@ -484,6 +506,57 @@ pub fn gate(
     bad
 }
 
+/// Name of the bare campaign the observability overhead is priced against.
+pub const OVERHEAD_BASE: &str = "fig5_arm";
+
+/// Name of the metrics-enabled twin of [`OVERHEAD_BASE`].
+pub const OVERHEAD_OBS: &str = "fig5_arm_obs";
+
+/// Default ceiling on the observability overhead: the metrics-enabled
+/// campaign may be at most 2% slower (in best-iteration jobs/sec) than
+/// the bare one.
+pub const OVERHEAD_TOL: f64 = 0.02;
+
+/// Check the cost of the metrics layer in a fresh measurement: the
+/// metrics-enabled fig. 5 campaign must keep at least `1 - tol` of the
+/// bare campaign's best-iteration throughput, and — metrics being purely
+/// observational — must reproduce its results checksum exactly. Returns
+/// the violations (empty = pass); missing campaigns are themselves a
+/// violation, so the check cannot silently pass on a renamed suite.
+pub fn overhead_check(current: &[CampaignPerf], tol: f64) -> Vec<String> {
+    let mut bad = Vec::new();
+    let find = |name: &str| current.iter().find(|c| c.name == name);
+    let (base, obs) = match (find(OVERHEAD_BASE), find(OVERHEAD_OBS)) {
+        (Some(b), Some(o)) => (b, o),
+        (b, o) => {
+            for (name, got) in [(OVERHEAD_BASE, b), (OVERHEAD_OBS, o)] {
+                if got.is_none() {
+                    bad.push(format!("overhead check: campaign `{name}` not measured"));
+                }
+            }
+            return bad;
+        }
+    };
+    if obs.checksum != base.checksum {
+        bad.push(format!(
+            "overhead check: `{}` checksum {} != `{}` checksum {} — metrics changed the science",
+            OVERHEAD_OBS, obs.checksum, OVERHEAD_BASE, base.checksum
+        ));
+    }
+    let ratio = obs.jobs_per_sec_best() / base.jobs_per_sec_best();
+    if !ratio.is_finite() || ratio < 1.0 - tol {
+        bad.push(format!(
+            "overhead check: metrics-enabled throughput {:.1} jobs/s is {:.1}% below bare \
+             {:.1} jobs/s (ratio {ratio:.4}, tolerance {:.1}%)",
+            obs.jobs_per_sec_best(),
+            (1.0 - ratio) * 100.0,
+            base.jobs_per_sec_best(),
+            tol * 100.0
+        ));
+    }
+    bad
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -545,6 +618,27 @@ mod tests {
         let mut ok = camps;
         ok[0].iter_ms = vec![120.0 * 1.5];
         assert!(gate(&report, &opts, &ok, 3.0).is_empty());
+    }
+
+    #[test]
+    fn overhead_check_prices_the_metrics_layer() {
+        // 1% slower with identical checksum: within the 2% default budget.
+        let base = camp(OVERHEAD_BASE, vec![100.0]);
+        let mut obs = camp(OVERHEAD_OBS, vec![101.0]);
+        assert!(overhead_check(&[base.clone(), obs.clone()], OVERHEAD_TOL).is_empty());
+        // 10% slower: over budget, and the message carries the ratio.
+        obs.iter_ms = vec![111.2];
+        let bad = overhead_check(&[base.clone(), obs.clone()], OVERHEAD_TOL);
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].contains("ratio 0.8993"), "{}", bad[0]);
+        // A checksum mismatch is flagged even when timing is fine.
+        obs.iter_ms = vec![100.0];
+        obs.checksum = "0000000000000000".to_string();
+        let bad = overhead_check(&[base, obs], OVERHEAD_TOL);
+        assert!(bad.iter().any(|v| v.contains("changed the science")));
+        // Missing campaigns cannot silently pass.
+        let bad = overhead_check(&[], OVERHEAD_TOL);
+        assert_eq!(bad.len(), 2);
     }
 
     #[test]

@@ -1,0 +1,359 @@
+//! The run-report layer behind the `wmm_report` binary: run a profiled
+//! campaign with the full `wmm-obs` observability stack attached and join
+//! what the individual seams report — executor metrics, per-site stall
+//! profiles, cache statistics, solver metrics, span timeline — into one
+//! markdown document and one gateable manifest.
+//!
+//! The report is deliberately two-faced:
+//!
+//! * the **markdown** rendering ([`markdown`]) is for humans: campaign
+//!   summary, the structural metrics table, the hottest sites, cache
+//!   traffic, and the per-kind cross-check verdict;
+//! * the **manifest** ([`manifest`]) is for the `bench_gate` regression
+//!   gate: every structural metric becomes a cell (`metrics/<name>`), so
+//!   CI pins not just the science but the *accounting* — a refactor that
+//!   silently stops counting cache hits or solver nodes drifts a cell and
+//!   fails the gate. Observational metrics (worker timings, latency
+//!   histograms, lock waits) ride along in the manifest's `metrics` block
+//!   for inspection but are excluded from the gated cells and from the
+//!   deterministic projection's structural entries only by class, never by
+//!   hand-maintained lists.
+//!
+//! Determinism contract: two [`collect_report`] runs of the same campaign
+//! at *any* worker counts produce manifests whose deterministic
+//! projections are byte-identical (asserted in this module's tests), which
+//! is what makes the committed baseline meaningful.
+
+use wmm_analyze::{
+    synthesize_wps_metered, CostModel, CycleCache, SynthConfig, WpsConfig, WpsMetrics,
+};
+use wmm_harness::{CacheStats, ParallelExecutor, RunManifest, SimCache, TraceEvent};
+use wmm_obs::{MetricValue, MetricsRegistry, MetricsSnapshot, SpanLog, SpanRecord};
+use wmmbench::report::Table;
+
+use crate::profiling::{kind_checks, profile_campaign, site_records, KindCheck};
+use crate::wps::{make_bundles, WPS_MODEL};
+use crate::ExpConfig;
+
+/// How [`collect_report`] runs the campaign.
+#[derive(Debug, Clone)]
+pub struct ReportOptions {
+    /// Profile campaign id (see [`crate::profiling::PROFILE_CAMPAIGNS`]).
+    pub campaign: String,
+    /// Experiment scale.
+    pub cfg: ExpConfig,
+    /// Worker threads (`None` = auto).
+    pub threads: Option<usize>,
+    /// Minimum generated litmus tests for the WPS solver stage; `0`
+    /// skips the stage (and its `wps.*` metrics).
+    pub wps_min_tests: usize,
+    /// Collect the executor's batch/job Chrome-trace timeline alongside
+    /// the span log (costs one mutex push per job; off by default).
+    pub trace: bool,
+}
+
+impl ReportOptions {
+    /// The CI-shaped default: quick fig. 5 ARM campaign plus a small WPS
+    /// solver stage, no batch/job timeline.
+    pub fn quick() -> Self {
+        ReportOptions {
+            campaign: "fig5-arm".to_string(),
+            cfg: ExpConfig::quick(),
+            threads: None,
+            wps_min_tests: 16,
+            trace: false,
+        }
+    }
+}
+
+/// Everything one observed campaign run produced, ready for rendering.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Campaign id the profile layer ran.
+    pub campaign: String,
+    /// Architecture label.
+    pub arch: String,
+    /// Nanoseconds per simulator cycle on the campaign's machine.
+    pub ns_per_cycle: f64,
+    /// Per-benchmark `(name, mean wall ns, distinct sites)`.
+    pub benches: Vec<(String, f64, usize)>,
+    /// Per-`(benchmark, fence kind)` cross-check cells.
+    pub checks: Vec<KindCheck>,
+    /// Merged site records ranked by total cycles, hottest first.
+    pub ranked_sites: Vec<wmm_harness::SiteRecord>,
+    /// Simulation-cache statistics at end of run.
+    pub cache: CacheStats,
+    /// Full metrics snapshot (structural and observational) at end of run.
+    pub snapshot: MetricsSnapshot,
+    /// Completed spans, in completion order.
+    pub spans: Vec<SpanRecord>,
+    /// Executor batch/job timeline (empty unless tracing was enabled).
+    pub trace: Vec<TraceEvent>,
+    /// Bundles solved by the WPS stage (`None` = stage skipped).
+    pub wps_bundles: Option<usize>,
+}
+
+/// Run `opts.campaign` with a metrics registry, span log and simulation
+/// cache attached, optionally follow with a metered WPS solver stage over
+/// generated bundles, and collect everything the seams reported. Returns
+/// `None` for an unknown campaign id.
+pub fn collect_report(opts: &ReportOptions) -> Option<RunReport> {
+    let registry = MetricsRegistry::new();
+    let spans = SpanLog::new();
+    let exec = ParallelExecutor::new(opts.threads)
+        .with_cache(SimCache::in_memory())
+        .with_trace(opts.trace)
+        .with_metrics(&registry);
+
+    let whole = spans.span(format!("report/{}", opts.campaign), "report");
+    let cp = {
+        let _g = spans.span(opts.campaign.clone(), "campaign");
+        profile_campaign(&opts.campaign, opts.cfg, &exec)?
+    };
+
+    let wps_bundles = (opts.wps_min_tests > 0).then(|| {
+        let _g = spans.span("wps-solve", "phase");
+        let metrics = WpsMetrics::register(&registry);
+        let cache = CycleCache::in_memory();
+        let costs = CostModel::priced(crate::streams::NOMINAL_K);
+        let wps = WpsConfig {
+            threads: opts.threads,
+            ..WpsConfig::default()
+        };
+        let bundles = make_bundles(opts.wps_min_tests);
+        for b in &bundles {
+            synthesize_wps_metered(
+                &b.graph,
+                SynthConfig::for_model(WPS_MODEL),
+                &costs,
+                &wps,
+                Some(&cache),
+                Some(&metrics),
+            )
+            .expect("bundle synthesis");
+        }
+        bundles.len()
+    });
+    drop(whole);
+
+    let mut ranked = site_records(&cp.merged());
+    ranked.sort_by(|a, b| {
+        b.total_cycles
+            .partial_cmp(&a.total_cycles)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    Some(RunReport {
+        campaign: cp.campaign.to_string(),
+        arch: cp.arch.to_string(),
+        ns_per_cycle: cp.ns_per_cycle,
+        benches: cp
+            .benches
+            .iter()
+            .map(|b| {
+                (
+                    b.bench.clone(),
+                    b.batch.mean_wall_ns(),
+                    b.batch.profile.sites.len(),
+                )
+            })
+            .collect(),
+        checks: kind_checks(&cp),
+        ranked_sites: ranked,
+        cache: exec.cache_stats().unwrap_or_default(),
+        snapshot: registry.snapshot(),
+        spans: spans.records(),
+        trace: exec.trace_events(),
+        wps_bundles,
+    })
+}
+
+/// Whether every per-kind cross-check cell passed.
+pub fn checks_pass(report: &RunReport) -> bool {
+    report.checks.iter().all(KindCheck::pass)
+}
+
+fn metric_rows(table: &mut Table, snapshot: &MetricsSnapshot) {
+    for e in &snapshot.entries {
+        let (kind, value) = match &e.value {
+            MetricValue::Counter(v) => ("counter", v.to_string()),
+            MetricValue::Gauge(v) => ("gauge", format!("{v}")),
+            MetricValue::Histogram { sum, count, .. } => {
+                ("histogram", format!("count {count}, sum {sum:.0}"))
+            }
+        };
+        table.row(vec![e.name.clone(), kind.to_string(), value]);
+    }
+}
+
+/// Render the human-facing markdown document.
+pub fn markdown(report: &RunReport) -> String {
+    let mut out = String::new();
+    let ns = |cycles: f64| cycles * report.ns_per_cycle;
+    out.push_str(&format!(
+        "# wmm_report — campaign `{}` ({})\n\n",
+        report.campaign, report.arch
+    ));
+
+    let mut summary = Table::new(&["benchmark", "mean_wall_ns", "sites"]);
+    for (name, wall, sites) in &report.benches {
+        summary.row(vec![name.clone(), format!("{wall:.0}"), sites.to_string()]);
+    }
+    out.push_str("## Campaign\n\n");
+    out.push_str(&summary.markdown());
+    if let Some(bundles) = report.wps_bundles {
+        out.push_str(&format!("\nWPS solver stage: {bundles} bundles solved.\n"));
+    }
+
+    out.push_str("\n## Structural metrics\n\n");
+    out.push_str("Deterministic accounting — byte-identical at any worker count.\n\n");
+    let mut stru = Table::new(&["metric", "kind", "value"]);
+    metric_rows(&mut stru, &report.snapshot.structural());
+    out.push_str(&stru.markdown());
+
+    out.push_str("\n## Observational metrics\n\n");
+    out.push_str("Timing- and worker-dependent; vary run to run, never gated.\n\n");
+    let observational = MetricsSnapshot {
+        entries: report
+            .snapshot
+            .entries
+            .iter()
+            .filter(|e| e.class == wmm_obs::Class::Observational)
+            .cloned()
+            .collect(),
+    };
+    let mut obs = Table::new(&["metric", "kind", "value"]);
+    metric_rows(&mut obs, &observational);
+    out.push_str(&obs.markdown());
+
+    out.push_str("\n## Hottest sites\n\n");
+    let mut sites = Table::new(&["site", "fences", "fence_ns", "sb_ns", "total_ns"]);
+    for s in report.ranked_sites.iter().take(10) {
+        sites.row(vec![
+            s.name.clone(),
+            s.fences.to_string(),
+            format!("{:.0}", ns(s.fence_cycles)),
+            format!("{:.0}", ns(s.sb_stall_cycles)),
+            format!("{:.0}", ns(s.total_cycles)),
+        ]);
+    }
+    out.push_str(&sites.markdown());
+
+    let c = &report.cache;
+    out.push_str(&format!(
+        "\n## Cache\n\n{} entries, {} hits / {} misses, {} puts, \
+         {} disk appends ({} bytes), {} ns waiting on the append lock.\n",
+        c.entries, c.hits, c.misses, c.puts, c.disk_appends, c.disk_append_bytes, c.lock_wait_ns
+    ));
+
+    out.push_str(&format!(
+        "\n## Cross-check\n\nPer-site vs per-kind accounting over {} cells: {}.\n",
+        report.checks.len(),
+        if checks_pass(report) { "PASS" } else { "FAIL" }
+    ));
+    out.push_str(&format!(
+        "\n{} spans recorded; {} executor trace events.\n",
+        report.spans.len(),
+        report.trace.len()
+    ));
+    out
+}
+
+/// Build the gateable manifest: campaign shape, cross-check verdict, and
+/// every structural metric as a `metrics/<name>` cell (histograms
+/// contribute `/count` and `/sum`). The full snapshot — observational
+/// entries included — rides in the manifest's `metrics` block.
+pub fn manifest(report: &RunReport) -> RunManifest {
+    let name = if report.campaign == "fig5-arm" {
+        "wmm_report".to_string()
+    } else {
+        format!("wmm_report-{}", report.campaign)
+    };
+    let mut m = RunManifest::new(name, report.arch.clone());
+    m.push_cell("profile/benches", report.benches.len() as f64);
+    for (bench, _, sites) in &report.benches {
+        m.push_cell(format!("{bench}/sites"), *sites as f64);
+    }
+    m.push_cell("checks/cells", report.checks.len() as f64);
+    m.push_cell("checks/pass", if checks_pass(report) { 1.0 } else { 0.0 });
+    if let Some(bundles) = report.wps_bundles {
+        m.push_cell("wps/bundles", bundles as f64);
+    }
+    for e in &report.snapshot.structural().entries {
+        match &e.value {
+            MetricValue::Counter(v) => m.push_cell(format!("metrics/{}", e.name), *v as f64),
+            MetricValue::Gauge(v) => m.push_cell(format!("metrics/{}", e.name), *v),
+            MetricValue::Histogram { sum, count, .. } => {
+                m.push_cell(format!("metrics/{}/count", e.name), *count as f64);
+                m.push_cell(format!("metrics/{}/sum", e.name), *sum);
+            }
+        }
+    }
+    m.metrics = Some(report.snapshot.clone());
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts(threads: usize) -> ReportOptions {
+        ReportOptions {
+            threads: Some(threads),
+            ..ReportOptions::quick()
+        }
+    }
+
+    #[test]
+    fn report_joins_metrics_profiles_and_cache_stats() {
+        let r = collect_report(&quick_opts(2)).expect("known campaign");
+        assert!(!r.benches.is_empty());
+        assert!(!r.ranked_sites.is_empty());
+        assert!(checks_pass(&r), "per-kind cross-check must pass");
+        // The executor seam reported through the registry...
+        assert!(r.snapshot.counter("harness.exec.jobs").unwrap() > 0);
+        // ...and the cache gauges mirror the cache's own stats.
+        assert_eq!(
+            r.snapshot.gauge("harness.cache.sim.entries").unwrap(),
+            r.cache.entries as f64
+        );
+        // The WPS stage populated the solver metrics.
+        assert!(r.wps_bundles.unwrap() > 0);
+        assert!(r.snapshot.counter("wps.cycles_enumerated").unwrap() > 0);
+        // Spans nested report > campaign > phase, all recorded.
+        assert!(r.spans.iter().any(|s| s.cat == "report"));
+        assert!(r.spans.iter().any(|s| s.cat == "campaign"));
+        assert!(r.spans.iter().any(|s| s.cat == "phase"));
+
+        let md = markdown(&r);
+        for section in [
+            "## Campaign",
+            "## Structural metrics",
+            "## Observational metrics",
+            "## Hottest sites",
+            "## Cache",
+            "## Cross-check",
+        ] {
+            assert!(md.contains(section), "missing {section}");
+        }
+
+        let m = manifest(&r);
+        assert_eq!(m.campaign, "wmm_report");
+        assert!(m
+            .cells
+            .iter()
+            .any(|c| c.label == "metrics/wps.solver.nodes"));
+        assert!(m.metrics.is_some());
+    }
+
+    #[test]
+    fn manifest_deterministic_projection_is_identical_across_worker_counts() {
+        let one = manifest(&collect_report(&quick_opts(1)).unwrap());
+        let four = manifest(&collect_report(&quick_opts(4)).unwrap());
+        assert_eq!(
+            one.deterministic_json().to_string_pretty(),
+            four.deterministic_json().to_string_pretty(),
+            "gated report content must not depend on worker count"
+        );
+    }
+}

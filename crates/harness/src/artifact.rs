@@ -21,6 +21,7 @@
 
 use std::path::{Path, PathBuf};
 
+use wmm_obs::MetricsSnapshot;
 use wmm_sim::isa::FenceKind;
 use wmm_sim::stats::{Counters, ExecStats};
 use wmmbench::json::{Json, ToJson};
@@ -34,7 +35,13 @@ use wmmbench::model::SensitivityFit;
 /// v3: `telemetry` gains an optional `sites` array — per-site stall
 /// profiles keyed by stable site name, produced by campaigns that run
 /// sited (`wmm_profile`, `wmm_tracediff`). Absent for ordinary campaigns.
-pub const SCHEMA_VERSION: u64 = 3;
+///
+/// v4: optional top-level `metrics` block — a full
+/// [`MetricsSnapshot`] for campaigns run with a metrics registry
+/// attached. The file carries every metric; the deterministic projection
+/// carries only the structural subset; the canonical (gated) content is
+/// unchanged.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// One scalar measurement cell (e.g. a sweep point's relative performance,
 /// a ranking-matrix entry), identified by a stable label.
@@ -306,6 +313,10 @@ pub struct RunManifest {
     pub fits: Vec<FitRecord>,
     /// Execution telemetry (not part of the canonical content).
     pub telemetry: Option<Telemetry>,
+    /// Metrics snapshot, for campaigns run with a registry attached (not
+    /// part of the canonical content; the deterministic projection keeps
+    /// only the structural entries).
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl RunManifest {
@@ -383,18 +394,29 @@ impl RunManifest {
     /// threads-1-vs-N tests assert.
     pub fn deterministic_json(&self) -> Json {
         let mut json = self.canonical_json();
-        if let (Json::Obj(pairs), Some(t)) = (&mut json, &self.telemetry) {
-            pairs.push(("telemetry".to_string(), t.deterministic_json()));
+        if let Json::Obj(pairs) = &mut json {
+            if let Some(t) = &self.telemetry {
+                pairs.push(("telemetry".to_string(), t.deterministic_json()));
+            }
+            if let Some(m) = &self.metrics {
+                pairs.push(("metrics".to_string(), m.structural().to_json()));
+            }
         }
         json
     }
 
     /// Serialise to the written manifest file's text (canonical content
-    /// plus the full telemetry section, timing included).
+    /// plus the full telemetry section, timing included, plus the full
+    /// metrics snapshot if one was attached).
     pub fn to_file_text(&self) -> String {
         let mut json = self.canonical_json();
-        if let (Json::Obj(pairs), Some(t)) = (&mut json, &self.telemetry) {
-            pairs.push(("telemetry".to_string(), t.to_json()));
+        if let Json::Obj(pairs) = &mut json {
+            if let Some(t) = &self.telemetry {
+                pairs.push(("telemetry".to_string(), t.to_json()));
+            }
+            if let Some(m) = &self.metrics {
+                pairs.push(("metrics".to_string(), m.to_json()));
+            }
         }
         let mut text = json.to_string_pretty();
         text.push('\n');
@@ -467,12 +489,17 @@ impl RunManifest {
             None => None,
             Some(t) => Some(telemetry_from_json(t)?),
         };
+        let metrics = match json.get("metrics") {
+            None => None,
+            Some(m) => Some(MetricsSnapshot::from_json(m)?),
+        };
         Ok(RunManifest {
             campaign: field("campaign")?.to_string(),
             arch: field("arch")?.to_string(),
             cells,
             fits,
             telemetry,
+            metrics,
         })
     }
 
@@ -709,16 +736,44 @@ mod tests {
         )
         .unwrap();
         assert!(RunManifest::from_json(&json).unwrap_err().contains("99"));
-        // v1 (pre-telemetry) and v2 (pre-sites) manifests are also
-        // rejected: the baselines were refreshed when the schema was
-        // bumped.
-        for version in [1, 2] {
+        // v1 (pre-telemetry), v2 (pre-sites) and v3 (pre-metrics)
+        // manifests are also rejected: the baselines were refreshed when
+        // the schema was bumped.
+        for version in [1, 2, 3] {
             let json = Json::parse(&format!(
                 r#"{{"schema_version":{version},"campaign":"x","arch":"arm","cells":[],"fits":[]}}"#
             ))
             .unwrap();
             assert!(RunManifest::from_json(&json).is_err(), "v{version}");
         }
+    }
+
+    #[test]
+    fn metrics_block_roundtrips_and_deterministic_keeps_structural_only() {
+        use wmm_obs::{Class, MetricsRegistry};
+
+        let dir = std::env::temp_dir().join("wmm-harness-artifact-metrics-test");
+        let reg = MetricsRegistry::new();
+        reg.counter("harness.exec.jobs", Class::Structural).add(40);
+        reg.counter("harness.worker.0.jobs", Class::Observational)
+            .add(40);
+        reg.histogram("wps.gap", Class::Structural, &[1.0, 2.0])
+            .observe(1.5);
+        let mut m = sample();
+        m.campaign = "metrics_test".to_string();
+        m.metrics = Some(reg.snapshot());
+        let path = m.write(&dir).unwrap();
+        let back = RunManifest::load(&path).unwrap();
+        assert_eq!(back, m);
+        // Full file carries both classes; the deterministic projection
+        // keeps only the structural subset; the gated canonical content
+        // ignores metrics entirely.
+        assert!(m.to_file_text().contains("harness.worker.0.jobs"));
+        let det = m.deterministic_json().to_string();
+        assert!(det.contains("harness.exec.jobs"));
+        assert!(!det.contains("harness.worker.0.jobs"));
+        assert!(m.canonical_json().get("metrics").is_none());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

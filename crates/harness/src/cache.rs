@@ -202,6 +202,33 @@ struct DiskLane {
     append: Mutex<()>,
 }
 
+/// Operational counters of a content-addressed cache, shared between the
+/// simulation cache and the generic task cache ([`crate::TaskCache`]).
+///
+/// Everything except `lock_wait_ns` is deterministic given the cache state
+/// and the batch sequence (entries, hit/miss/put counts, and the
+/// disk-append accounting the lane always implied but never reported);
+/// `lock_wait_ns` is a wall-clock measurement of time spent waiting for
+/// the disk lane's append lock and is observational.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Entries currently held in the in-memory map.
+    pub entries: u64,
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// First-writer inserts (repeat puts of a key count nothing).
+    pub puts: u64,
+    /// Lines appended to the disk lane.
+    pub disk_appends: u64,
+    /// Bytes appended to the disk lane (newlines included).
+    pub disk_append_bytes: u64,
+    /// Wall nanoseconds spent waiting on the disk lane's append lock
+    /// (observational — never on the `get` hot path).
+    pub lock_wait_ns: u64,
+}
+
 /// A content-addressed simulation-result cache: an in-memory map with an
 /// optional append-only on-disk store shared across processes.
 pub struct SimCache {
@@ -209,6 +236,10 @@ pub struct SimCache {
     disk: Option<DiskLane>,
     hits: AtomicU64,
     misses: AtomicU64,
+    puts: AtomicU64,
+    disk_appends: AtomicU64,
+    disk_append_bytes: AtomicU64,
+    lock_wait_ns: AtomicU64,
 }
 
 impl SimCache {
@@ -219,6 +250,10 @@ impl SimCache {
             disk: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+            disk_appends: AtomicU64::new(0),
+            disk_append_bytes: AtomicU64::new(0),
+            lock_wait_ns: AtomicU64::new(0),
         }
     }
 
@@ -245,6 +280,10 @@ impl SimCache {
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+            disk_appends: AtomicU64::new(0),
+            disk_append_bytes: AtomicU64::new(0),
+            lock_wait_ns: AtomicU64::new(0),
         })
     }
 
@@ -272,14 +311,23 @@ impl SimCache {
             .insert(key, value)
             .is_none();
         if first_insert {
+            self.puts.fetch_add(1, Ordering::Relaxed);
             if let Some(lane) = &self.disk {
+                let wait = std::time::Instant::now();
                 let _append = lane.append.lock().expect("disk lane poisoned");
+                self.lock_wait_ns
+                    .fetch_add(wait.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 if let Ok(mut f) = std::fs::OpenOptions::new()
                     .create(true)
                     .append(true)
                     .open(&lane.path)
                 {
-                    let _ = writeln!(f, "{key:032x} {:016x}", value.to_bits());
+                    let line = format!("{key:032x} {:016x}", value.to_bits());
+                    if writeln!(f, "{line}").is_ok() {
+                        self.disk_appends.fetch_add(1, Ordering::Relaxed);
+                        self.disk_append_bytes
+                            .fetch_add(line.len() as u64 + 1, Ordering::Relaxed);
+                    }
                 }
             }
         }
@@ -303,6 +351,24 @@ impl SimCache {
     /// Lookup count that missed.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// First-writer insert count.
+    pub fn puts(&self) -> u64 {
+        self.puts.load(Ordering::Relaxed)
+    }
+
+    /// The full counter snapshot, for metrics export.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.len() as u64,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            disk_appends: self.disk_appends.load(Ordering::Relaxed),
+            disk_append_bytes: self.disk_append_bytes.load(Ordering::Relaxed),
+            lock_wait_ns: self.lock_wait_ns.load(Ordering::Relaxed),
+        }
     }
 
     /// The backing file, if this cache persists to disk.
@@ -403,6 +469,39 @@ mod tests {
         cache.put(42, 1.5);
         assert_eq!(cache.get(42), Some(1.5));
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        // Repeat puts of a key are not first-writer inserts.
+        cache.put(42, 1.5);
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.entries, stats.hits, stats.misses, stats.puts),
+            (1, 1, 1, 1)
+        );
+        assert_eq!(
+            (stats.disk_appends, stats.disk_append_bytes),
+            (0, 0),
+            "no disk lane, no append accounting"
+        );
+    }
+
+    #[test]
+    fn disk_stats_count_appended_lines_and_bytes() {
+        let dir = std::env::temp_dir().join("wmm-harness-cache-stats-test");
+        let path = dir.join("stats.cache");
+        let _ = std::fs::remove_file(&path);
+        let cache = SimCache::with_disk(&path).unwrap();
+        cache.put(1, 0.5);
+        cache.put(2, 1.5);
+        cache.put(1, 0.5); // duplicate: no new line
+        let stats = cache.stats();
+        assert_eq!((stats.puts, stats.disk_appends), (2, 2));
+        // Each line is 32 hex key + space + 16 hex value + newline = 50.
+        assert_eq!(stats.disk_append_bytes, 100);
+        assert_eq!(
+            stats.disk_append_bytes,
+            std::fs::metadata(&path).unwrap().len(),
+            "byte accounting matches the file"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

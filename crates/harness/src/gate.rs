@@ -118,7 +118,13 @@ fn rel_drift(old: f64, new: f64) -> f64 {
 /// out of tolerance or any quantity involved is non-finite (NaN compares
 /// false against every tolerance, so it must be rejected explicitly).
 /// Out-of-tolerance drifts also append a structured [`Mismatch`].
+///
+/// Every failure is a single line carrying the offending campaign, the
+/// label, and the measured current/baseline ratio — enough to identify and
+/// judge the regression from a CI log without opening the manifests.
+#[allow(clippy::too_many_arguments)]
 fn check_value(
+    campaign: &str,
     kind: &'static str,
     label: &str,
     old: f64,
@@ -130,13 +136,14 @@ fn check_value(
     let drift = rel_drift(old, new);
     if !old.is_finite() || !new.is_finite() || !drift.is_finite() {
         failures.push(format!(
-            "{kind} `{label}`: non-finite value (baseline {old}, current {new}) — gate cannot pass NaN/inf"
+            "campaign `{campaign}` {kind} `{label}`: non-finite value (baseline {old}, current {new}) — gate cannot pass NaN/inf"
         ));
         return;
     }
     if drift > tol {
+        let ratio = new / old.abs().max(1e-12).copysign(old);
         failures.push(format!(
-            "{kind} `{label}`: value drifted {:.1}% (baseline {:.6e}, current {:.6e}, tolerance {:.1}%)",
+            "campaign `{campaign}` {kind} `{label}`: value drifted {:.1}% — ratio {ratio:.4} (baseline {:.6e}, current {:.6e}, tolerance {:.1}%)",
             100.0 * drift,
             old,
             new,
@@ -211,6 +218,7 @@ pub fn compare(baseline: &RunManifest, current: &RunManifest, cfg: GateConfig) -
             Some(cf) => {
                 checked += 1;
                 check_value(
+                    &baseline.campaign,
                     "fit k",
                     &bf.label,
                     bf.k,
@@ -228,6 +236,7 @@ pub fn compare(baseline: &RunManifest, current: &RunManifest, cfg: GateConfig) -
             Some(cc) => {
                 checked += 1;
                 check_value(
+                    &baseline.campaign,
                     "cell",
                     &bc.label,
                     bc.value,
@@ -309,6 +318,15 @@ mod tests {
         );
         assert!(!r.pass());
         assert!(r.failures[0].contains("drifted"), "{:?}", r.failures);
+        // One line per failure, naming the campaign and the measured
+        // ratio so CI logs are self-contained.
+        assert!(!r.failures[0].contains('\n'));
+        assert!(
+            r.failures[0].contains("campaign `gate_test`"),
+            "{:?}",
+            r.failures
+        );
+        assert!(r.failures[0].contains("ratio 1.3000"), "{:?}", r.failures);
     }
 
     #[test]

@@ -29,6 +29,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use crate::cache::CacheStats;
 use crate::scheduler::run_keyed;
 
 /// Single-line payload codec for a [`TaskCache`] disk lane. `encode` must
@@ -57,6 +58,10 @@ pub struct TaskCache<V> {
     disk: Option<(PathBuf, Mutex<()>, TaskCodec<V>)>,
     hits: AtomicU64,
     misses: AtomicU64,
+    puts: AtomicU64,
+    disk_appends: AtomicU64,
+    disk_append_bytes: AtomicU64,
+    lock_wait_ns: AtomicU64,
 }
 
 impl<V: Clone> Default for TaskCache<V> {
@@ -74,6 +79,10 @@ impl<V: Clone> TaskCache<V> {
             disk: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+            disk_appends: AtomicU64::new(0),
+            disk_append_bytes: AtomicU64::new(0),
+            lock_wait_ns: AtomicU64::new(0),
         }
     }
 
@@ -94,6 +103,10 @@ impl<V: Clone> TaskCache<V> {
             disk: Some((path.to_path_buf(), Mutex::new(()), codec)),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+            disk_appends: AtomicU64::new(0),
+            disk_append_bytes: AtomicU64::new(0),
+            lock_wait_ns: AtomicU64::new(0),
         };
         if path.exists() {
             let text = std::fs::read_to_string(path)?;
@@ -140,14 +153,23 @@ impl<V: Clone> TaskCache<V> {
         if !fresh {
             return;
         }
+        self.puts.fetch_add(1, Ordering::Relaxed);
         if let Some((path, append, codec)) = &self.disk {
+            let wait = std::time::Instant::now();
             let _guard = append.lock().expect("task cache disk lane poisoned");
+            self.lock_wait_ns
+                .fetch_add(wait.elapsed().as_nanos() as u64, Ordering::Relaxed);
             if let Ok(mut f) = std::fs::OpenOptions::new()
                 .create(true)
                 .append(true)
                 .open(path)
             {
-                let _ = writeln!(f, "{key:032x} {}|", (codec.encode)(value));
+                let line = format!("{key:032x} {}|", (codec.encode)(value));
+                if writeln!(f, "{line}").is_ok() {
+                    self.disk_appends.fetch_add(1, Ordering::Relaxed);
+                    self.disk_append_bytes
+                        .fetch_add(line.len() as u64 + 1, Ordering::Relaxed);
+                }
             }
         }
     }
@@ -172,6 +194,19 @@ impl<V: Clone> TaskCache<V> {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The full counter snapshot, for metrics export.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.len() as u64,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            disk_appends: self.disk_appends.load(Ordering::Relaxed),
+            disk_append_bytes: self.disk_append_bytes.load(Ordering::Relaxed),
+            lock_wait_ns: self.lock_wait_ns.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -272,6 +307,10 @@ mod tests {
         assert_eq!(executed.load(Ordering::Relaxed), 3);
         assert_eq!(cache.hits(), 6);
         assert_eq!(cache.len(), 3);
+        let stats = cache.stats();
+        assert_eq!((stats.entries, stats.puts), (3, 3));
+        assert_eq!((stats.hits, stats.misses), (6, 6));
+        assert_eq!(stats.disk_appends, 0, "in-memory cache never appends");
     }
 
     #[test]

@@ -28,6 +28,14 @@
 //!    outcomes, cost-loop invocations). The totals land in the manifest's
 //!    non-gated `telemetry` section; per-batch and per-job wall timings can
 //!    additionally be exported as a `chrome://tracing` timeline.
+//! 5. **Metrics** ([`ParallelExecutor::with_metrics`]): a `wmm-obs`
+//!    [`MetricsRegistry`](wmm_obs::MetricsRegistry) can be attached to an
+//!    executor, which then maintains `harness.exec.*` (batch/job/cache
+//!    counters, queue depth, a job-latency histogram), per-worker
+//!    `harness.worker.*` counters and `harness.cache.sim.*` gauges.
+//!    Structural metrics are byte-identical across worker counts and land
+//!    in the manifest's optional `metrics` block (schema v4); span logs
+//!    merge into the Chrome trace via [`trace::span_trace_events`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,8 +50,11 @@ pub mod trace;
 pub use artifact::{
     CellRecord, FitRecord, RunManifest, SimTotals, SiteRecord, Telemetry, Timing, SCHEMA_VERSION,
 };
-pub use cache::{job_key, Fnv128, SimCache};
+pub use cache::{job_key, CacheStats, Fnv128, SimCache};
 pub use gate::{compare, GateConfig, GateReport, Mismatch};
 pub use jobs::{run_cached_tasks, TaskCache, TaskCodec};
 pub use scheduler::{resolve_threads, run_keyed, run_keyed_indexed, ParallelExecutor};
-pub use trace::{instruction_trace_events, write_chrome_trace, TraceEvent};
+pub use trace::{
+    instruction_trace_events, merge_chronological, span_trace_events, write_chrome_trace,
+    TraceEvent,
+};

@@ -15,15 +15,16 @@
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use wmm_obs::{Class, Counter, Gauge, Histogram, MetricsRegistry};
 use wmm_sim::stats::ExecStats;
 use wmm_sim::MachineScratch;
 use wmmbench::exec::{Executor, JobOutcome, SimJob};
 
 use crate::artifact::{SimTotals, Telemetry, Timing};
-use crate::cache::{job_key, SimCache};
+use crate::cache::{job_key, CacheStats, SimCache};
 use crate::trace::TraceEvent;
 
 /// Resolve the worker-thread count: an explicit request wins, then the
@@ -115,6 +116,79 @@ struct BatchCounters {
     max_batch_jobs: AtomicU64,
 }
 
+/// Registered metric handles for an instrumented executor.
+///
+/// Structural metrics (batch/job/hit/miss counts, queue depth) are updated
+/// only on the calling thread from count-derived values, so their values —
+/// and therefore the registry's structural snapshot — are byte-identical
+/// across worker counts. Observational metrics (the job-latency histogram
+/// and the per-worker counters) are updated from worker threads and carry
+/// wall-clock readings.
+struct ExecMetrics {
+    batches: Arc<Counter>,
+    jobs: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    job_latency_ns: Arc<Histogram>,
+    worker_jobs: Vec<Arc<Counter>>,
+    worker_busy_ns: Vec<Arc<Counter>>,
+    sim_cache_entries: Arc<Gauge>,
+    sim_cache_hits: Arc<Gauge>,
+    sim_cache_misses: Arc<Gauge>,
+    sim_cache_puts: Arc<Gauge>,
+    sim_cache_disk_append_bytes: Arc<Gauge>,
+    sim_cache_lock_wait_ns: Arc<Gauge>,
+}
+
+impl ExecMetrics {
+    fn register(registry: &MetricsRegistry, threads: usize) -> Self {
+        ExecMetrics {
+            batches: registry.counter("harness.exec.batches", Class::Structural),
+            jobs: registry.counter("harness.exec.jobs", Class::Structural),
+            cache_hits: registry.counter("harness.exec.cache_hits", Class::Structural),
+            cache_misses: registry.counter("harness.exec.cache_misses", Class::Structural),
+            queue_depth: registry.gauge("harness.exec.queue_depth", Class::Structural),
+            job_latency_ns: registry.histogram(
+                "harness.exec.job_latency_ns",
+                Class::Observational,
+                &[1e3, 1e4, 1e5, 1e6, 1e7, 1e8],
+            ),
+            worker_jobs: (0..threads)
+                .map(|w| {
+                    registry.counter(&format!("harness.worker.{w}.jobs"), Class::Observational)
+                })
+                .collect(),
+            worker_busy_ns: (0..threads)
+                .map(|w| {
+                    registry.counter(&format!("harness.worker.{w}.busy_ns"), Class::Observational)
+                })
+                .collect(),
+            sim_cache_entries: registry.gauge("harness.cache.sim.entries", Class::Structural),
+            sim_cache_hits: registry.gauge("harness.cache.sim.hits", Class::Structural),
+            sim_cache_misses: registry.gauge("harness.cache.sim.misses", Class::Structural),
+            sim_cache_puts: registry.gauge("harness.cache.sim.puts", Class::Structural),
+            sim_cache_disk_append_bytes: registry
+                .gauge("harness.cache.sim.disk_append_bytes", Class::Structural),
+            sim_cache_lock_wait_ns: registry
+                .gauge("harness.cache.sim.lock_wait_ns", Class::Observational),
+        }
+    }
+
+    /// Mirror the cache's counter snapshot into the registry gauges
+    /// (called on the calling thread after each batch, so the structural
+    /// gauges only ever see deterministic values).
+    fn sync_cache(&self, stats: CacheStats) {
+        self.sim_cache_entries.set(stats.entries as f64);
+        self.sim_cache_hits.set(stats.hits as f64);
+        self.sim_cache_misses.set(stats.misses as f64);
+        self.sim_cache_puts.set(stats.puts as f64);
+        self.sim_cache_disk_append_bytes
+            .set(stats.disk_append_bytes as f64);
+        self.sim_cache_lock_wait_ns.set(stats.lock_wait_ns as f64);
+    }
+}
+
 /// The parallel, caching [`Executor`].
 ///
 /// Wraps the scheduler around an optional content-addressed [`SimCache`]:
@@ -133,6 +207,7 @@ pub struct ParallelExecutor {
     counters: BatchCounters,
     sim_totals: Mutex<SimTotals>,
     trace: Mutex<Vec<TraceEvent>>,
+    metrics: Option<ExecMetrics>,
 }
 
 impl ParallelExecutor {
@@ -148,6 +223,7 @@ impl ParallelExecutor {
             counters: BatchCounters::default(),
             sim_totals: Mutex::new(SimTotals::default()),
             trace: Mutex::new(Vec::new()),
+            metrics: None,
         }
     }
 
@@ -169,6 +245,15 @@ impl ParallelExecutor {
         self
     }
 
+    /// Attach a metrics registry: the executor registers its
+    /// `harness.exec.*`, `harness.worker.*` and `harness.cache.sim.*`
+    /// metrics and updates them per batch. Without this call the hot path
+    /// pays nothing (an `Option` check per batch, not per job).
+    pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Self {
+        self.metrics = Some(ExecMetrics::register(registry, self.threads));
+        self
+    }
+
     /// The resolved worker count.
     pub fn threads(&self) -> usize {
         self.threads
@@ -177,6 +262,11 @@ impl ParallelExecutor {
     /// The attached cache, if any.
     pub fn cache(&self) -> Option<&SimCache> {
         self.cache.as_ref()
+    }
+
+    /// Counter snapshot of the attached cache, if any.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(SimCache::stats)
     }
 
     /// Telemetry snapshot for the campaign so far: executor counters, the
@@ -276,6 +366,19 @@ impl Executor for ParallelExecutor {
             let stats = SIM_SCRATCH.with(|s| jobs[slot].run_stats_with(&mut s.borrow_mut()));
             let dur = t0.elapsed();
             sim_ns.fetch_add(dur.as_nanos() as u64, Ordering::Relaxed);
+            if let Some(m) = &self.metrics {
+                // Observational side only: worker attribution and latency
+                // are wall-clock facts, never part of the structural
+                // snapshot.
+                let ns = dur.as_nanos() as u64;
+                m.job_latency_ns.observe(ns as f64);
+                if let Some(w) = m.worker_jobs.get(worker) {
+                    w.inc();
+                }
+                if let Some(w) = m.worker_busy_ns.get(worker) {
+                    w.add(ns);
+                }
+            }
             if self.tracing {
                 self.trace.lock().expect("trace poisoned").push(TraceEvent {
                     name: format!("job {slot}"),
@@ -311,6 +414,19 @@ impl Executor for ParallelExecutor {
                 cache.put(keys[slot], s.wall_ns);
             }
             outcomes[slot] = Some(JobOutcome::observed(s));
+        }
+
+        if let Some(m) = &self.metrics {
+            // Structural side, on the calling thread with count-derived
+            // values: identical whatever the worker count.
+            m.batches.inc();
+            m.jobs.add(n as u64);
+            m.cache_hits.add((n - misses.len()) as u64);
+            m.cache_misses.add(misses.len() as u64);
+            m.queue_depth.set(n as f64);
+            if let Some(cache) = &self.cache {
+                m.sync_cache(cache.stats());
+            }
         }
 
         let batch_ns = start.elapsed().as_nanos() as u64;
@@ -506,6 +622,59 @@ mod tests {
         let silent = ParallelExecutor::new(Some(2));
         silent.run_batch(jobs(&machine, 3));
         assert!(silent.trace_events().is_empty());
+    }
+
+    #[test]
+    fn exec_metrics_count_batches_jobs_and_cache_traffic() {
+        let machine = Machine::new(armv8_xgene1());
+        let reg = MetricsRegistry::new();
+        let exec = ParallelExecutor::new(Some(2))
+            .with_cache(SimCache::in_memory())
+            .with_metrics(&reg);
+        exec.run_batch(jobs(&machine, 20));
+        exec.run_batch(jobs(&machine, 20));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("harness.exec.batches"), Some(2));
+        assert_eq!(snap.counter("harness.exec.jobs"), Some(40));
+        assert_eq!(snap.counter("harness.exec.cache_hits"), Some(20));
+        assert_eq!(snap.counter("harness.exec.cache_misses"), Some(20));
+        assert_eq!(snap.gauge("harness.exec.queue_depth"), Some(20.0));
+        assert_eq!(snap.gauge("harness.cache.sim.entries"), Some(20.0));
+        assert_eq!(snap.gauge("harness.cache.sim.puts"), Some(20.0));
+        // Every simulated job landed in the latency histogram and on some
+        // worker track.
+        let lat = snap.get("harness.exec.job_latency_ns").expect("registered");
+        match &lat.value {
+            wmm_obs::MetricValue::Histogram { count, .. } => assert_eq!(*count, 20),
+            other => panic!("latency should be a histogram, got {other:?}"),
+        }
+        let worker_jobs: u64 = (0..2)
+            .map(|w| {
+                snap.counter(&format!("harness.worker.{w}.jobs"))
+                    .expect("worker track registered")
+            })
+            .sum();
+        assert_eq!(worker_jobs, 20);
+        assert_eq!(exec.cache_stats().expect("cache attached").puts, 20);
+    }
+
+    #[test]
+    fn metrics_structural_snapshot_is_identical_across_worker_counts() {
+        let machine = Machine::new(armv8_xgene1());
+        let structural_json = |threads: usize| {
+            let reg = MetricsRegistry::new();
+            let exec = ParallelExecutor::new(Some(threads))
+                .with_cache(SimCache::in_memory())
+                .with_metrics(&reg);
+            exec.run_batch(jobs(&machine, 24));
+            exec.run_batch(jobs(&machine, 24));
+            use wmmbench::json::ToJson as _;
+            reg.snapshot().structural().to_json().to_string_pretty()
+        };
+        let base = structural_json(1);
+        for threads in [2, 4] {
+            assert_eq!(structural_json(threads), base, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@ use std::collections::HashMap;
 use std::io;
 use std::path::Path;
 
+use wmm_obs::SpanRecord;
 use wmm_sim::stats::SiteStall;
 use wmmbench::json::{Json, ToJson};
 
@@ -81,6 +82,47 @@ pub fn instruction_trace_events(
             }
         })
         .collect()
+}
+
+/// Convert completed [`SpanRecord`]s into trace slices, so phase-level
+/// spans (a [`wmm_obs::SpanLog`] sharing the executor's epoch convention)
+/// render on the same timeline as batch and job slices. The span's own
+/// category string is carried through a small static table — the trace
+/// layer keeps `cat` a `&'static str` — with unrecognised categories
+/// rendered as `"span"`.
+pub fn span_trace_events(spans: &[SpanRecord]) -> Vec<TraceEvent> {
+    fn static_cat(cat: &str) -> &'static str {
+        match cat {
+            "report" => "report",
+            "campaign" => "campaign",
+            "phase" => "phase",
+            "batch" => "batch",
+            "job" => "job",
+            _ => "span",
+        }
+    }
+    spans
+        .iter()
+        .map(|s| TraceEvent {
+            name: s.name.clone(),
+            cat: static_cat(s.cat),
+            ts_us: s.ts_us,
+            dur_us: s.dur_us,
+            tid: s.tid,
+        })
+        .collect()
+}
+
+/// Merge several event streams into one chronologically sorted timeline.
+///
+/// The sort is *stable* on the start timestamp (`f64::total_cmp`), so
+/// events that start at the same instant — including zero-duration spans —
+/// keep their relative input order, and the merged order is a pure
+/// function of the inputs.
+pub fn merge_chronological(streams: &[&[TraceEvent]]) -> Vec<TraceEvent> {
+    let mut merged: Vec<TraceEvent> = streams.iter().flat_map(|s| s.iter().cloned()).collect();
+    merged.sort_by(|a, b| a.ts_us.total_cmp(&b.ts_us));
+    merged
 }
 
 /// Serialise events to a Trace Event Format JSON document.
@@ -195,6 +237,91 @@ mod tests {
         assert_eq!(events[2].tid, 1);
         assert_eq!(events[0].name, "t0:i0");
         assert!(events.iter().all(|e| e.cat == "instr"));
+    }
+
+    #[test]
+    fn empty_campaign_exports_a_valid_empty_trace() {
+        // An executor that never ran a batch still produces a loadable
+        // document: an empty traceEvents array, not malformed JSON.
+        let text = to_chrome_json(&[]);
+        let json = Json::parse(&text).expect("empty trace parses");
+        let arr = json
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents present");
+        assert!(arr.is_empty());
+        assert!(merge_chronological(&[&[], &[]]).is_empty());
+        assert!(span_trace_events(&[]).is_empty());
+    }
+
+    #[test]
+    fn zero_duration_spans_survive_export() {
+        let spans = vec![
+            SpanRecord {
+                name: "instant".into(),
+                cat: "report",
+                ts_us: 5.0,
+                dur_us: 0.0,
+                tid: 0,
+            },
+            SpanRecord {
+                name: "weird cat".into(),
+                cat: "test",
+                ts_us: 5.0,
+                dur_us: 1.0,
+                tid: 2,
+            },
+        ];
+        let events = span_trace_events(&spans);
+        assert_eq!(
+            events[0].dur_us, 0.0,
+            "zero-duration slice kept, not dropped"
+        );
+        assert_eq!(events[0].cat, "report");
+        assert_eq!(events[1].cat, "span", "unknown categories render as span");
+        let text = to_chrome_json(&events);
+        let json = Json::parse(&text).expect("parses");
+        let arr = json.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr[0].get("dur").and_then(Json::as_f64), Some(0.0));
+        // Equal timestamps: stable merge keeps input order.
+        let merged = merge_chronological(&[&events]);
+        assert_eq!(merged[0].name, "instant");
+        assert_eq!(merged[1].name, "weird cat");
+    }
+
+    #[test]
+    fn merged_span_and_instruction_streams_stay_sorted() {
+        let site = |thread: u32, index: u32, total: f64| SiteStall {
+            thread,
+            index,
+            fence: None,
+            fences: 0,
+            fence_cycles: 0.0,
+            sb_stall_cycles: 0.0,
+            mem_cycles: 0.0,
+            total_cycles: total,
+        };
+        let instr =
+            instruction_trace_events(&[site(0, 0, 4000.0), site(0, 1, 4000.0)], 1.0, |t, i| {
+                format!("t{t}:i{i}")
+            });
+        let spans = span_trace_events(&[SpanRecord {
+            name: "phase".into(),
+            cat: "report",
+            ts_us: 1.0,
+            dur_us: 10.0,
+            tid: 9,
+        }]);
+        let merged = merge_chronological(&[&instr, &spans]);
+        assert_eq!(merged.len(), 3);
+        assert!(
+            merged.windows(2).all(|w| w[0].ts_us <= w[1].ts_us),
+            "merged timeline is chronologically sorted"
+        );
+        // The span (ts 1.0) lands between instruction starts 0.0 and 4.0.
+        assert_eq!(merged[1].name, "phase");
+        let text = to_chrome_json(&merged);
+        assert!(Json::parse(&text).is_ok());
     }
 
     #[test]

@@ -53,10 +53,15 @@ pub enum Event {
 
 /// A bounded, deterministic ring of [`Event`]s.
 ///
-/// Keeps the most recent `capacity` events and counts the rest as dropped;
-/// because the event stream itself is deterministic, the retained window
-/// and the drop count are bit-identical across repeated runs. Implements
-/// [`Probe`], so it can be passed straight to `Machine::run_probed`.
+/// **Overflow contract.** The ring retains exactly the `capacity` *newest*
+/// events: when a push finds the ring full, the single oldest event is
+/// evicted and counted in [`EventBuffer::dropped`] — overflow is reported,
+/// never silent. Equivalently, after `n` pushes the buffer holds the last
+/// `min(n, capacity)` events in arrival order and
+/// `dropped() == n - len()` (see [`EventBuffer::total_seen`]). Because the
+/// event stream itself is deterministic, the retained window and the drop
+/// count are bit-identical across repeated runs. Implements [`Probe`], so
+/// it can be passed straight to `Machine::run_probed`.
 #[derive(Debug)]
 pub struct EventBuffer {
     capacity: usize,
@@ -65,13 +70,20 @@ pub struct EventBuffer {
 }
 
 impl EventBuffer {
-    /// A ring holding at most `capacity` events (at least 1).
+    /// A ring holding at most `capacity` events (clamped up to 1: a
+    /// zero-capacity ring would drop everything silently, which the
+    /// overflow contract forbids).
     pub fn new(capacity: usize) -> Self {
         EventBuffer {
             capacity: capacity.max(1),
             events: VecDeque::with_capacity(capacity.clamp(1, 4096)),
             dropped: 0,
         }
+    }
+
+    /// The configured capacity (post-clamp).
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// The retained events, oldest first.
@@ -92,6 +104,18 @@ impl EventBuffer {
     /// Events evicted because the ring was full.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Every event ever pushed: retained plus dropped. The conservation
+    /// invariant `total_seen() == len() + dropped()` holds at all times.
+    pub fn total_seen(&self) -> u64 {
+        self.events.len() as u64 + self.dropped
+    }
+
+    /// Empty the ring and reset the drop count, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
     }
 
     fn push(&mut self, event: Event) {
@@ -207,5 +231,68 @@ mod tests {
                 Event::SbStall { cycles: 3.0 }
             ]
         );
+    }
+
+    #[test]
+    fn overflow_conserves_events_and_retains_the_newest_window() {
+        // Push far past capacity: the ring must hold exactly the last
+        // `capacity` events in arrival order, and every evicted event must
+        // be accounted for in `dropped` — the conservation invariant.
+        let mut buf = EventBuffer::new(8);
+        assert_eq!(buf.capacity(), 8);
+        for i in 0..100 {
+            buf.sb_stall(i as f64);
+        }
+        assert_eq!(buf.len(), 8);
+        assert_eq!(buf.dropped(), 92);
+        assert_eq!(buf.total_seen(), 100);
+        let kept: Vec<f64> = buf
+            .events()
+            .map(|e| match e {
+                Event::SbStall { cycles } => *cycles,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(kept, (92..100).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_capacity_clamps_instead_of_dropping_silently() {
+        let mut buf = EventBuffer::new(0);
+        assert_eq!(buf.capacity(), 1);
+        buf.sb_stall(1.0);
+        buf.sb_stall(2.0);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.dropped(), 1);
+        assert_eq!(
+            buf.events().copied().collect::<Vec<_>>(),
+            vec![Event::SbStall { cycles: 2.0 }]
+        );
+    }
+
+    #[test]
+    fn undersized_ring_reports_run_overflow_deterministically() {
+        // A real probed run into a too-small ring: the drop count and the
+        // retained suffix are part of the deterministic transcript, and the
+        // conservation invariant ties them to the full event count.
+        let machine = Machine::new(armv8_xgene1());
+        let mut full = EventBuffer::new(1 << 16);
+        machine.run_probed(&program(), &WorkloadCtx::default(), 7, &mut full);
+        assert_eq!(full.dropped(), 0);
+        let total = full.len() as u64;
+        assert!(total > 4, "program must emit more events than the ring");
+
+        let mut small = EventBuffer::new(4);
+        machine.run_probed(&program(), &WorkloadCtx::default(), 7, &mut small);
+        assert_eq!(small.len(), 4);
+        assert_eq!(small.dropped(), total - 4);
+        assert_eq!(small.total_seen(), total);
+        // The retained window is exactly the transcript's suffix.
+        let tail: Vec<Event> = full.events().copied().skip(full.len() - 4).collect();
+        assert_eq!(small.events().copied().collect::<Vec<_>>(), tail);
+        // clear() resets contents and the drop count, not the capacity.
+        small.clear();
+        assert!(small.is_empty());
+        assert_eq!((small.dropped(), small.capacity()), (0, 4));
     }
 }

@@ -24,6 +24,14 @@
 //! * [`ProfileDiff`](profile::ProfileDiff): site-by-site comparison of two
 //!   profiles, attributing a campaign-level time delta (e.g. a fencing
 //!   strategy change) to the sites whose stall profile moved.
+//! * [`metrics`]: the harness-wide metrics layer — a
+//!   [`MetricsRegistry`](metrics::MetricsRegistry) of counters, gauges and
+//!   fixed-bucket histograms with deterministic (name-sorted) snapshots,
+//!   split into structural (gateable, byte-identical across worker counts)
+//!   and observational (timing) classes, with JSON and Prometheus
+//!   exporters.
+//! * [`span`]: wall-clock [`SpanLog`](span::SpanLog) intervals that merge
+//!   into the harness's Chrome-trace timeline.
 //!
 //! The determinism contract mirrors the rest of the workspace: folding the
 //! same runs in the same order produces bit-identical profiles regardless
@@ -34,8 +42,15 @@
 
 pub mod event;
 pub mod flame;
+pub mod metrics;
 pub mod profile;
+pub mod span;
 
 pub use event::{Event, EventBuffer};
 pub use flame::collapsed_stacks;
+pub use metrics::{
+    Class, Counter, Gauge, Histogram, MetricEntry, MetricValue, MetricsProbe, MetricsRegistry,
+    MetricsSnapshot,
+};
 pub use profile::{Profile, ProfileDiff, SiteDelta, SiteProfile};
+pub use span::{SpanGuard, SpanLog, SpanRecord};

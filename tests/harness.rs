@@ -7,6 +7,7 @@ use proptest::prelude::*;
 
 use wmm::wmm_bench::profiling::{batch_with_profile, site_records};
 use wmm::wmm_harness::{compare, job_key, GateConfig, ParallelExecutor, RunManifest, SimCache};
+use wmm::wmm_obs::MetricsRegistry;
 use wmm::wmm_sim::arch::armv8_xgene1;
 use wmm::wmm_sim::isa::{AccessOrd, FenceKind, Instr, Loc};
 use wmm::wmm_sim::machine::{Program, WorkloadCtx};
@@ -14,6 +15,7 @@ use wmm::wmm_sim::Machine;
 use wmm::wmmbench::costfn::Calibration;
 use wmm::wmmbench::exec::{Executor, SerialExecutor, SimJob};
 use wmm::wmmbench::image::{compute_envelope, Image, Injection, Segment, SiteRewriter};
+use wmm::wmmbench::json::ToJson;
 use wmm::wmmbench::runner::{BenchSpec, RunConfig};
 use wmm::wmmbench::sensitivity::{pow2_targets, sweep_with, SweepResult, SweepTarget};
 use wmm::wmmbench::strategy::FnStrategy;
@@ -171,6 +173,18 @@ fn warm_cache_changes_nothing() {
     let t = exec.telemetry();
     assert!(t.cache_hits > 0, "second campaign must hit the cache");
     assert_eq!(t.cache_hits, t.cache_misses, "warm run is a full replay");
+    // The cache's own stats must tell the same story the telemetry does:
+    // every miss was inserted once, nothing touched disk.
+    let stats = exec.cache_stats().expect("executor has a cache");
+    assert_eq!(stats.hits, t.cache_hits);
+    assert_eq!(stats.misses, t.cache_misses);
+    assert_eq!(
+        stats.puts, t.cache_misses,
+        "each miss inserted exactly once"
+    );
+    assert_eq!(stats.entries, stats.puts, "in-memory lane keeps every put");
+    assert_eq!(stats.disk_appends, 0);
+    assert_eq!(stats.disk_append_bytes, 0);
 }
 
 #[test]
@@ -192,6 +206,19 @@ fn disk_cache_survives_processes_and_stays_exact() {
     );
     let t = exec.telemetry();
     assert_eq!(t.cache_misses, 0, "reloaded cache must answer every job");
+    // An all-hits run appends nothing: the disk lane grew only during the
+    // first process, by exactly one 50-byte line per inserted key.
+    let stats = exec.cache_stats().expect("executor has a cache");
+    assert_eq!(stats.puts, 0, "reloaded run has nothing to insert");
+    assert_eq!(stats.disk_appends, 0);
+    assert_eq!(stats.disk_append_bytes, 0);
+    assert_eq!(stats.hits, t.cache_hits);
+    let on_disk = std::fs::metadata(&path).expect("cache file exists").len();
+    assert_eq!(
+        on_disk,
+        50 * stats.entries,
+        "disk lane holds one 50-byte line per entry"
+    );
     let _ = std::fs::remove_file(&path);
 }
 
@@ -444,6 +471,36 @@ proptest! {
             "sb cycles: {site_sb} vs {}",
             sited.sb_stall_cycles
         );
+    }
+
+    /// For any batch, the structural projection of the attached metrics
+    /// registry serialises byte-identically whether the batch ran on one,
+    /// two or four workers — the determinism contract extends to the
+    /// metrics layer. (Observational entries — per-worker counters, the
+    /// latency histogram, lock waits — are excluded by class.)
+    #[test]
+    fn metrics_structural_snapshot_invariant_under_worker_count(
+        spec in prop::collection::vec((0u32..5_000, 0u64..1_000), 1..40),
+    ) {
+        let machine = Machine::new(armv8_xgene1());
+        let mut reference: Option<String> = None;
+        for threads in [1usize, 2, 4] {
+            let registry = MetricsRegistry::new();
+            let exec = ParallelExecutor::new(Some(threads))
+                .with_cache(SimCache::in_memory())
+                .with_metrics(&registry);
+            exec.run_batch(mk_jobs(&machine, &spec));
+            // Warm replay: hit/miss accounting must stay deterministic too.
+            exec.run_batch(mk_jobs(&machine, &spec));
+            let text = registry.snapshot().structural().to_json().to_string_pretty();
+            match &reference {
+                None => reference = Some(text),
+                Some(r) => prop_assert!(
+                    &text == r,
+                    "structural snapshot diverged at threads = {threads}"
+                ),
+            }
+        }
     }
 
     /// Cache keys separate distinct inputs and are stable for equal ones.
